@@ -1,0 +1,55 @@
+"""Section 4's comparative claim: D-GMC vs MOSPF vs brute-force.
+
+"In most situations, there is only one topology computation and one
+flooding operation per event.  This compares very favorably with the MOSPF
+protocol, which requires a topology computation at every switch involved
+in the MC"; and the brute-force protocol of Section 2 triggers "n
+redundant computations" per event.
+
+Expected shape: D-GMC ~= 1 computation/event (sparse) and single digits
+(bursty); MOSPF ~= |on-tree routers| x senders; brute-force = n exactly.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.harness.figures import baseline_comparison
+from repro.harness.report import render_comparison
+
+SIZES = (20, 40, 60, 80, 100)
+GRAPHS = 3
+
+
+def run_comparisons():
+    sparse = baseline_comparison(sizes=SIZES, graphs_per_size=GRAPHS)
+    bursty = baseline_comparison(sizes=SIZES, graphs_per_size=GRAPHS, bursty=True)
+    return sparse, bursty
+
+
+def test_baseline_comparison(benchmark, results_dir):
+    sparse, bursty = benchmark.pedantic(run_comparisons, rounds=1, iterations=1)
+    text = "\n\n".join(
+        [
+            render_comparison(
+                sparse, "Computations per event, sparse events (Section 4 claim)"
+            ),
+            render_comparison(bursty, "Computations per event, bursty events"),
+        ]
+    )
+    write_result(results_dir, "baseline_comparison.txt", text)
+    print("\n" + text)
+
+    for row in sparse:
+        # brute-force = n exactly (every switch recomputes per event)
+        assert abs(row.brute_force.mean - row.size) < 1e-9
+        # D-GMC near one computation per event
+        assert row.dgmc.mean < 1.5
+        # MOSPF pays per on-tree router: at least several x D-GMC
+        assert row.mospf.mean > 3.0 * row.dgmc.mean
+    for row in bursty:
+        assert row.dgmc.mean < row.mospf.mean
+        assert row.dgmc.mean < row.brute_force.mean
+        # the gap must widen with network size for brute-force
+    gaps = [row.brute_force.mean / max(row.dgmc.mean, 1e-9) for row in bursty]
+    assert gaps[-1] > gaps[0], "brute-force gap should grow with n"

@@ -1,0 +1,91 @@
+"""Convergence profiles: how agreement spreads through the network.
+
+Figure 6(c) reports a single number per size -- the time until the *last*
+switch settles.  The install log lets us plot the whole adoption curve:
+when 50% / 90% / 100% of switches had settled on their final topology,
+in rounds after the burst's first event.
+
+Measured shape: the curve is a step, not a ramp -- p50, p90, and p100 sit
+within a fraction of a round of each other.  Convergence time is
+dominated by the burst duration itself (events keep invalidating
+proposals until the last one lands); once the final full-stamp proposal
+floods, every switch adopts it within one flooding diameter.  That is the
+protocol working as designed: consensus arrives network-wide with the
+winning LSA, not switch by switch.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import write_result
+
+from repro.core import DgmcNetwork, JoinEvent, LeaveEvent, ProtocolConfig
+from repro.harness.figures import EXP1_COMPUTE, EXP1_PER_HOP, _bursty_scenario
+from repro.sim.rng import RngRegistry
+from repro.trace import convergence_profile
+
+N = 60
+SEEDS = range(6)
+
+
+def _profile_one(seed: int):
+    reg = RngRegistry(seed).fork("profile")
+    scenario = _bursty_scenario(N, seed, reg, EXP1_PER_HOP, EXP1_COMPUTE, "profile")
+    config = ProtocolConfig(
+        compute_time=scenario.compute_time, per_hop_delay=scenario.per_hop_delay
+    )
+    dgmc = DgmcNetwork(scenario.net, config)
+    dgmc.register_symmetric(1)
+    t = 4.0 * scenario.round_length
+    for sw in sorted(scenario.schedule.initial_members):
+        dgmc.inject(JoinEvent(sw, 1), at=t)
+        t += 4.0 * scenario.round_length
+    dgmc.run()
+    t0 = dgmc.sim.now + 4.0 * scenario.round_length
+    first_event = t0 + scenario.schedule.events[0].time
+    for ev in scenario.schedule.events:
+        event = JoinEvent(ev.switch, 1) if ev.join else LeaveEvent(ev.switch, 1)
+        dgmc.inject(event, at=t0 + ev.time)
+    dgmc.run()
+    ok, detail = dgmc.agreement(1)
+    assert ok, detail
+
+    profile = convergence_profile(dgmc, 1)
+    round_length = scenario.round_length
+
+    def percentile_rounds(frac: float) -> float:
+        target = max(1, int(round(frac * N)))
+        for time, count in profile:
+            if count >= target:
+                return max(0.0, time - first_event) / round_length
+        return max(0.0, profile[-1][0] - first_event) / round_length
+
+    return percentile_rounds(0.5), percentile_rounds(0.9), percentile_rounds(1.0)
+
+
+def _study():
+    return [_profile_one(seed) for seed in SEEDS]
+
+
+def test_convergence_profile(benchmark, results_dir):
+    rows = benchmark.pedantic(_study, rounds=1, iterations=1)
+    p50 = statistics.mean(r[0] for r in rows)
+    p90 = statistics.mean(r[1] for r in rows)
+    p100 = statistics.mean(r[2] for r in rows)
+    text = (
+        f"Convergence profile, bursty Experiment-1 workload, n={N} "
+        f"(mean over {len(rows)} seeds, in rounds after the first event)\n"
+        f"  50% of switches settled: {p50:7.2f} rounds\n"
+        f"  90% of switches settled: {p90:7.2f} rounds\n"
+        f" 100% of switches settled: {p100:7.2f} rounds"
+    )
+    write_result(results_dir, "convergence_profile.txt", text)
+    print("\n" + text)
+    # The adoption curve is monotone and the Figure 6(c) number (p100)
+    # sits in the paper's 10-15 round band.
+    assert p50 <= p90 <= p100
+    assert 5.0 <= p100 <= 20.0
+    # Step-shaped adoption: the whole network settles within about one
+    # round of the median switch (consensus spreads with one flood).
+    assert p100 - p50 <= 1.5

@@ -1,0 +1,115 @@
+"""Data-plane disruption study: what churn costs packets.
+
+The control plane's convergence time (Figure 6(c)) matters because data
+keeps flowing while topologies change.  This benchmark streams packets
+through a symmetric MC during three regimes -- steady state, a membership
+burst, and a link-failure cycle -- and reports the delivery ratio in each,
+plus forwarding throughput of the engine itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import write_result
+
+from repro.core import DgmcNetwork, JoinEvent, LinkEvent, ProtocolConfig
+from repro.dataplane import ForwardingEngine, McPacket
+from repro.topo.generators import waxman_network
+
+N = 40
+SEEDS = (0, 1, 2, 3)
+
+
+def _one_seed(seed: int):
+    rng = random.Random(seed)
+    net = waxman_network(N, rng)
+    dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05))
+    dgmc.register_symmetric(1)
+    members = rng.sample(range(N), 6)
+    for i, sw in enumerate(members):
+        dgmc.inject(JoinEvent(sw, 1), at=10.0 * (i + 1))
+    dgmc.run()
+    engine = ForwardingEngine(dgmc)
+
+    # Regime 1: steady state.
+    steady = [engine.send(McPacket(members[0], 1), at=200.0 + i) for i in range(10)]
+    dgmc.run()
+
+    # Regime 2: packets racing a membership burst.
+    t = dgmc.sim.now + 50.0
+    for i, sw in enumerate(x for x in range(N) if x not in members):
+        if i >= 4:
+            break
+        dgmc.inject(JoinEvent(sw, 1), at=t + 0.2 * i)
+    burst = [engine.send(McPacket(members[0], 1), at=t + 0.3 + 0.2 * i) for i in range(5)]
+    dgmc.run()
+
+    # Regime 3: packets racing a link failure on the tree.
+    tree = dgmc.states_for(1)[0].installed.shared_tree
+    fail_edge = None
+    for edge in sorted(tree.edges):
+        probe = dgmc.net.copy()
+        probe.set_link_state(*edge, up=False)
+        if probe.is_connected():
+            fail_edge = edge
+            break
+    failure = []
+    if fail_edge is not None:
+        t = dgmc.sim.now + 50.0
+        dgmc.inject(LinkEvent(fail_edge[0], *fail_edge, up=False), at=t)
+        failure = [engine.send(McPacket(members[0], 1), at=t + 0.1 * (i + 1)) for i in range(5)]
+        dgmc.run()
+
+    def ratio(records):
+        if not records:
+            return 1.0
+        return sum(r.delivery_ratio for r in records) / len(records)
+
+    return ratio(steady), ratio(burst), ratio(failure)
+
+
+def _study():
+    results = [_one_seed(seed) for seed in SEEDS]
+    k = len(results)
+    return tuple(sum(col) / k for col in zip(*results))
+
+
+def test_dataplane_disruption(benchmark, results_dir):
+    steady, burst, failure = benchmark.pedantic(_study, rounds=1, iterations=1)
+    text = (
+        f"Data-plane delivery ratio on {N}-switch Waxman graphs "
+        f"(mean over {len(SEEDS)} seeds)\n"
+        f"  steady state:            {steady:.3f}\n"
+        f"  during membership burst: {burst:.3f}\n"
+        f"  during link failure:     {failure:.3f}"
+    )
+    write_result(results_dir, "dataplane_disruption.txt", text)
+    print("\n" + text)
+    # Steady state is loss-free; churn windows may lose some copies but
+    # delivery stays useful (the convergence window is short).
+    assert steady == 1.0
+    assert burst >= 0.7
+    assert failure >= 0.5
+
+
+def test_bench_forwarding_throughput(benchmark):
+    """Raw engine speed: packets fully forwarded per benchmark round."""
+    rng = random.Random(7)
+    net = waxman_network(N, rng)
+    dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05))
+    dgmc.register_symmetric(1)
+    members = rng.sample(range(N), 8)
+    for i, sw in enumerate(members):
+        dgmc.inject(JoinEvent(sw, 1), at=10.0 * (i + 1))
+    dgmc.run()
+    engine = ForwardingEngine(dgmc)
+    clock = iter(range(10_000))
+
+    def run():
+        record = engine.send(McPacket(members[0], 1), at=dgmc.sim.now + next(clock) + 1.0)
+        dgmc.run()
+        return record
+
+    record = benchmark(run)
+    assert record.complete

@@ -1,0 +1,40 @@
+"""Figure 6 — Experiment 1: bursty events, computation time dominates.
+
+Paper bands (OCR-reconstructed where noted): proposals/event stays in the
+single digits (< 15) at every network size; floodings/event stays bounded
+(< 15); convergence lands in the 10-15 round band.  Absolute values depend
+on burst intensity; the *shape* -- flat-ish in network size, single-digit
+computations, convergence ~ burst window + settle -- is asserted.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.harness.figures import experiment1
+from repro.harness.report import render_rows
+
+SIZES = (20, 40, 60, 80, 100)
+GRAPHS = 5  # paper uses 10; 5 keeps the benchmark run short
+
+
+def run_experiment1():
+    return experiment1(sizes=SIZES, graphs_per_size=GRAPHS)
+
+
+def test_figure6_bursty_computation_dominates(benchmark, results_dir):
+    rows = benchmark.pedantic(run_experiment1, rounds=1, iterations=1)
+    text = render_rows(
+        rows, "Figure 6: bursty events, Tc dominates (Experiment 1)"
+    )
+    write_result(results_dir, "figure6.txt", text)
+    print("\n" + text)
+    for row in rows:
+        assert row.all_agreed, f"disagreement at n={row.size}"
+        # Figure 6(a): proposals per event in the single digits (<15).
+        assert row.computations_per_event.mean < 15.0
+        assert row.computations_per_event.mean >= 1.0
+        # Figure 6(b): floodings per event bounded (<15).
+        assert row.floodings_per_event.mean < 15.0
+        # Figure 6(c): convergence in the ~10-15 round band.
+        assert 5.0 <= row.convergence_rounds.mean <= 20.0

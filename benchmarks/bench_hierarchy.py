@@ -1,0 +1,86 @@
+"""Hierarchical D-GMC scaling study (the paper's future-work extension).
+
+Section 2 argues hierarchy is the scalability path for LSR-based MC
+protocols.  This benchmark quantifies it: the same membership workload on
+growing clustered domains, flat vs two-level.  The figure of merit is
+**LSA deliveries** (total switch-LSA receptions): flat flooding costs
+O(n) deliveries per event, hierarchical costs O(area size) plus a small
+backbone term, so the saving grows with domain size.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import write_result
+
+from repro.core import DgmcNetwork, JoinEvent, ProtocolConfig
+from repro.hier import AreaPlan, HierDgmcNetwork
+from repro.topo.generators import clustered_network
+
+AREA_COUNTS = (2, 4, 6)
+AREA_SIZE = 16
+MEMBERS = 8
+SEEDS = (0, 1, 2)
+
+
+def _run_pair(areas: int, seed: int):
+    rng = random.Random(seed)
+    net, assignment = clustered_network(areas, AREA_SIZE, rng)
+    joiners = rng.sample(range(net.n), MEMBERS)
+    config = ProtocolConfig(compute_time=0.5, per_hop_delay=0.05)
+
+    flat = DgmcNetwork(net.copy(), config)
+    flat.register_symmetric(1)
+    for i, sw in enumerate(joiners):
+        flat.inject(JoinEvent(sw, 1), at=50.0 * (i + 1))
+    flat.run()
+
+    plan = AreaPlan(net.copy(), assignment)
+    hier = HierDgmcNetwork(plan, config)
+    hier.register_symmetric(1)
+    for i, sw in enumerate(joiners):
+        hier.inject_join(sw, 1, at=50.0 * (i + 1))
+    hier.run()
+    ok, detail = hier.agreement(1)
+    assert ok, detail
+    assert hier.spans_members(1)
+    return flat.fabric.delivery_count, hier.total_lsa_deliveries()
+
+
+def _study():
+    rows = []
+    for areas in AREA_COUNTS:
+        flat_total = hier_total = 0
+        for seed in SEEDS:
+            f, h = _run_pair(areas, seed)
+            flat_total += f
+            hier_total += h
+        rows.append((areas, flat_total / len(SEEDS), hier_total / len(SEEDS)))
+    return rows
+
+
+def test_hierarchy_scaling(benchmark, results_dir):
+    rows = benchmark.pedantic(_study, rounds=1, iterations=1)
+    lines = [
+        f"Flat vs hierarchical D-GMC (areas of {AREA_SIZE}, {MEMBERS} members, "
+        f"mean over {len(SEEDS)} seeds)",
+        "=" * 70,
+        f"{'areas':>6} | {'n':>5} | {'flat deliveries':>15} | "
+        f"{'hier deliveries':>15} | {'saved':>6}",
+        "-" * 62,
+    ]
+    for areas, flat, hier in rows:
+        saved = 1.0 - hier / flat
+        lines.append(
+            f"{areas:>6} | {areas * AREA_SIZE:>5} | {flat:>15.0f} "
+            f"| {hier:>15.0f} | {saved:>5.0%}"
+        )
+    text = "\n".join(lines)
+    write_result(results_dir, "hierarchy_scaling.txt", text)
+    print("\n" + text)
+
+    savings = [1.0 - hier / flat for _, flat, hier in rows]
+    # The hierarchy always wins, and the win grows with domain size.
+    assert all(s > 0.15 for s in savings)
+    assert savings[-1] > savings[0]

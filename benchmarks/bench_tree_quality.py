@@ -1,0 +1,115 @@
+"""Section 5 trade-off study: shared-tree cost and core placement.
+
+The paper argues CBT "has the advantage of efficient use of network
+resources, but suffers from traffic concentration", and that core
+selection is hard without topology knowledge ("selection of a good core
+node may be impossible.  The D-GMC protocol does not incur this problem").
+
+This benchmark quantifies those claims on 60-switch Waxman graphs: tree
+cost (total link delay) and the maximum per-link load (traffic
+concentration proxy: how many member-pair paths share the busiest link)
+for KMB Steiner trees vs core-based trees with member-aware and naive
+cores, plus per-source SPT forests for reference.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from conftest import write_result
+
+from repro.lsr import spf
+from repro.topo.generators import waxman_network
+from repro.trees.base import edge_weights
+from repro.trees.cbt import core_based_tree, select_core
+from repro.trees.spt import source_rooted_tree
+from repro.trees.steiner import kmb_steiner_tree
+
+SEEDS = range(8)
+N = 60
+MEMBERS = 8
+
+
+def _tree_load_concentration(tree, members):
+    """Max number of member pairs whose tree path crosses one edge."""
+    adj = tree.adjacency()
+    members = sorted(members)
+    load: dict = {}
+    for i, a in enumerate(members):
+        for b in members[i + 1 :]:
+            # path a->b in the tree via BFS parents
+            parent = {a: None}
+            stack = [a]
+            while stack:
+                node = stack.pop()
+                for nbr in adj.get(node, ()):
+                    if nbr not in parent:
+                        parent[nbr] = node
+                        stack.append(nbr)
+            node = b
+            while parent.get(node) is not None:
+                edge = tuple(sorted((node, parent[node])))
+                load[edge] = load.get(edge, 0) + 1
+                node = parent[node]
+    return max(load.values()) if load else 0
+
+
+def _study():
+    results = {"kmb": [], "cbt-median": [], "cbt-naive": [], "spt-forest": []}
+    conc = {"kmb": [], "cbt-median": [], "cbt-naive": []}
+    for seed in SEEDS:
+        rng = random.Random(seed)
+        net = waxman_network(N, rng)
+        adj = spf.network_adjacency(net)
+        weights = edge_weights(adj)
+        members = sorted(rng.sample(range(N), MEMBERS))
+
+        kmb = kmb_steiner_tree(adj, members)
+        results["kmb"].append(kmb.cost(weights))
+        conc["kmb"].append(_tree_load_concentration(kmb, members))
+
+        median_core = select_core(adj, members, strategy="member-median")
+        cbt_good = core_based_tree(adj, members, median_core)
+        results["cbt-median"].append(cbt_good.cost(weights))
+        conc["cbt-median"].append(_tree_load_concentration(cbt_good, members))
+
+        naive_core = select_core(adj, members, strategy="first-member")
+        cbt_bad = core_based_tree(adj, members, naive_core)
+        results["cbt-naive"].append(cbt_bad.cost(weights))
+        conc["cbt-naive"].append(_tree_load_concentration(cbt_bad, members))
+
+        forest_cost = sum(
+            source_rooted_tree(adj, s, set(members) - {s}).cost(weights)
+            for s in members
+        )
+        results["spt-forest"].append(forest_cost)
+    return results, conc
+
+
+def test_tree_quality_tradeoffs(benchmark, results_dir):
+    results, conc = benchmark.pedantic(_study, rounds=1, iterations=1)
+    means = {k: statistics.mean(v) for k, v in results.items()}
+    conc_means = {k: statistics.mean(v) for k, v in conc.items()}
+    lines = [
+        f"Tree quality on {N}-switch Waxman graphs, {MEMBERS} members, "
+        f"{len(list(SEEDS))} seeds",
+        "=" * 60,
+        f"{'variant':>12} | {'mean cost':>10} | {'max link load':>13}",
+        "-" * 44,
+    ]
+    for name in ("kmb", "cbt-median", "cbt-naive"):
+        lines.append(
+            f"{name:>12} | {means[name]:10.3f} | {conc_means[name]:13.2f}"
+        )
+    lines.append(f"{'spt-forest':>12} | {means['spt-forest']:10.3f} | {'n/a':>13}")
+    text = "\n".join(lines)
+    write_result(results_dir, "tree_quality.txt", text)
+    print("\n" + text)
+
+    # Steiner trees use network resources at least as well as shared CBT
+    # trees on average; naive core placement makes CBT strictly worse.
+    assert means["kmb"] <= means["cbt-median"] * 1.05
+    assert means["cbt-naive"] >= means["cbt-median"]
+    # Per-source SPT forests cost far more total resources (N trees).
+    assert means["spt-forest"] > 2.0 * means["kmb"]

@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the topology-computation algorithms.
+
+Section 3.5 motivates incremental updates because "MC topologies, such as
+source-rooted shortest-path trees or Steiner trees, are computationally
+expensive".  These benchmarks quantify that hierarchy on a 100-switch
+Waxman graph: a greedy incremental join must be cheaper than a from-
+scratch pruned-SPT build, which must be cheaper than KMB.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.lsr import spf
+from repro.topo.generators import waxman_network
+from repro.trees.dynamic import graft_path
+from repro.trees.spt import source_rooted_tree
+from repro.trees.steiner import kmb_steiner_tree, pruned_spt_steiner_tree
+
+N = 100
+TERMINALS = 12
+
+
+@pytest.fixture(scope="module")
+def setting():
+    rng = random.Random(42)
+    net = waxman_network(N, rng)
+    adj = spf.network_adjacency(net)
+    terminals = sorted(rng.sample(range(N), TERMINALS))
+    base_tree = pruned_spt_steiner_tree(adj, terminals[:-1])
+    return adj, terminals, base_tree
+
+
+def test_bench_kmb(benchmark, setting):
+    adj, terminals, _ = setting
+    tree = benchmark(lambda: kmb_steiner_tree(adj, terminals))
+    tree.validate(terminals)
+
+
+def test_bench_pruned_spt(benchmark, setting):
+    adj, terminals, _ = setting
+    tree = benchmark(lambda: pruned_spt_steiner_tree(adj, terminals))
+    tree.validate(terminals)
+
+
+def test_bench_source_rooted(benchmark, setting):
+    adj, terminals, _ = setting
+    tree = benchmark(lambda: source_rooted_tree(adj, terminals[0], terminals[1:]))
+    tree.validate(terminals)
+
+
+def test_bench_incremental_graft(benchmark, setting):
+    adj, terminals, base_tree = setting
+    new_member = terminals[-1]
+    tree = benchmark(lambda: graft_path(adj, base_tree, new_member))
+    tree.validate(set(terminals))

@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Each ``bench_*`` module regenerates one artifact of the paper's evaluation
+(Figures 6-8, the baseline comparison, and the ablation studies from
+DESIGN.md §5).  Benchmarks both *measure* the simulation's runtime and
+*validate the reproduced shape* (assertions on the metric bands the paper
+reports).  Rendered tables are written to ``benchmarks/results/`` so a
+plain ``pytest benchmarks/ --benchmark-only`` run leaves the reproduced
+figures on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")

@@ -1,0 +1,21 @@
+"""Baseline MC protocols the paper compares against or discusses.
+
+* :mod:`repro.baselines.mospf` -- MOSPF (Moy, RFC 1584): group-membership
+  LSAs plus *data-driven* topology computation: each datagram triggers a
+  source-rooted SPT computation at every on-tree router with a cold cache.
+  Section 4: D-GMC "compares very favorably with the MOSPF protocol, which
+  requires a topology computation at every switch involved in the MC."
+* :mod:`repro.baselines.brute_force` -- the "brute-force LSR-based MC
+  protocol" of Section 2: every membership LSA triggers a recomputation at
+  all n switches ("a single event could trigger n redundant computations").
+* :mod:`repro.baselines.cbt` -- the core-based tree protocol (Ballardie):
+  receiver-only MCs built from unicast join/quit messages toward a core,
+  with no flooding at all; included for the Section 5 trade-off study
+  (tree cost, traffic concentration, core placement sensitivity).
+"""
+
+from repro.baselines.brute_force import BruteForceNetwork
+from repro.baselines.mospf import MospfNetwork
+from repro.baselines.cbt import CbtNetwork
+
+__all__ = ["MospfNetwork", "BruteForceNetwork", "CbtNetwork"]

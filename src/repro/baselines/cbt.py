@@ -1,0 +1,175 @@
+"""The core-based tree (CBT) protocol baseline (Ballardie 1995).
+
+"The CBT multicast protocol is designed to construct and maintain
+receiver-only MCs (shared delivery trees) [...] with the restriction that
+only one designated switch, the core, can be contacted by senders.  The
+topology of a CBT connection is defined by the unicast paths between the
+core and the group members."  (Section 5)
+
+Joins are unicast JOIN-REQUEST messages forwarded hop-by-hop toward the
+core along unicast routing tables; the first on-tree switch grafts the
+path.  Leaves send QUIT messages pruning dangling branches.  There is *no*
+flooding and *no* topology computation -- CBT's costs are per-hop control
+messages and a tree shape hostage to core placement, which the Section 5
+trade-off benchmark quantifies against D-GMC's Steiner trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.lsr.flooding import FloodingFabric
+from repro.lsr.router import bring_up_unicast
+from repro.sim.kernel import Simulator
+from repro.topo.graph import Network
+from repro.trees.base import MulticastTree, canonical_edge
+
+
+@dataclass
+class _CbtSwitchState:
+    """Per-switch, per-group CBT forwarding state."""
+
+    on_tree: bool = False
+    is_member: bool = False
+    parent: Optional[int] = None  # next hop toward the core; None at the core
+    children: Set[int] = field(default_factory=set)
+
+
+class CbtNetwork:
+    """A network running the CBT receiver-only multicast protocol."""
+
+    def __init__(
+        self,
+        net: Network,
+        per_hop_delay: Optional[float] = None,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        self.net = net
+        self.per_hop_delay = per_hop_delay
+        self.sim = sim or Simulator()
+        # CBT itself needs no flooding; the fabric exists only so the
+        # unicast substrate is identical to the other protocols'.
+        self.fabric = FloodingFabric(self.sim, net, per_hop_delay=per_hop_delay)
+        self.routers = bring_up_unicast(net, self.fabric)
+        #: group -> core switch.
+        self.cores: Dict[int, int] = {}
+        #: group -> switch -> state.
+        self.state: Dict[int, Dict[int, _CbtSwitchState]] = {}
+        self.control_messages = 0
+        self.events_injected = 0
+
+    # -- group management -------------------------------------------------------
+
+    def create_group(self, group_id: int, core: int) -> None:
+        """Declare a group with its (fixed) core switch."""
+        if group_id in self.cores:
+            raise ValueError(f"group {group_id} already exists")
+        if not (0 <= core < self.net.n):
+            raise ValueError(f"core {core} out of range")
+        self.cores[group_id] = core
+        self.state[group_id] = {}
+        core_state = self._state(group_id, core)
+        core_state.on_tree = True
+
+    def _state(self, group_id: int, switch: int) -> _CbtSwitchState:
+        per_group = self.state[group_id]
+        if switch not in per_group:
+            per_group[switch] = _CbtSwitchState()
+        return per_group[switch]
+
+    def _hop_delay(self, u: int, v: int) -> float:
+        if self.per_hop_delay is not None:
+            return self.per_hop_delay
+        return self.net.link(u, v).delay
+
+    # -- joins ----------------------------------------------------------------------
+
+    def inject_join(self, switch: int, group_id: int, at: float) -> None:
+        self.sim.schedule_at(at, lambda: self._start_join(switch, group_id))
+
+    def _start_join(self, switch: int, group_id: int) -> None:
+        self.events_injected += 1
+        state = self._state(group_id, switch)
+        state.is_member = True
+        if state.on_tree:
+            return  # already grafted
+        self._forward_join(switch, group_id, previous=None)
+
+    def _forward_join(self, switch: int, group_id: int, previous: Optional[int]) -> None:
+        """JOIN-REQUEST processing at ``switch`` (arrived from ``previous``)."""
+        state = self._state(group_id, switch)
+        if previous is not None:
+            state.children.add(previous)
+        if state.on_tree:
+            return  # graft point reached: the path behind us is now on-tree
+        state.on_tree = True
+        core = self.cores[group_id]
+        next_hop = self.routers[switch].next_hop(core)
+        if next_hop is None:
+            raise RuntimeError(f"switch {switch} cannot reach core {core}")
+        state.parent = next_hop
+        self.control_messages += 1
+        self.sim.schedule(
+            self._hop_delay(switch, next_hop),
+            lambda: self._forward_join(next_hop, group_id, previous=switch),
+        )
+
+    # -- leaves -----------------------------------------------------------------------
+
+    def inject_leave(self, switch: int, group_id: int, at: float) -> None:
+        self.sim.schedule_at(at, lambda: self._start_leave(switch, group_id))
+
+    def _start_leave(self, switch: int, group_id: int) -> None:
+        self.events_injected += 1
+        state = self._state(group_id, switch)
+        state.is_member = False
+        self._maybe_prune(switch, group_id)
+
+    def _maybe_prune(self, switch: int, group_id: int) -> None:
+        """Send QUIT toward the core while this switch is a useless leaf."""
+        state = self._state(group_id, switch)
+        core = self.cores[group_id]
+        if (
+            not state.on_tree
+            or state.is_member
+            or state.children
+            or switch == core
+        ):
+            return
+        parent = state.parent
+        state.on_tree = False
+        state.parent = None
+        if parent is None:
+            return
+        self.control_messages += 1
+        self.sim.schedule(
+            self._hop_delay(switch, parent),
+            lambda: self._receive_quit(parent, group_id, child=switch),
+        )
+
+    def _receive_quit(self, switch: int, group_id: int, child: int) -> None:
+        state = self._state(group_id, switch)
+        state.children.discard(child)
+        self._maybe_prune(switch, group_id)
+
+    # -- inspection ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+    def tree(self, group_id: int) -> MulticastTree:
+        """The current delivery tree (edges between on-tree switches)."""
+        edges = set()
+        members = set()
+        for switch, state in self.state[group_id].items():
+            if state.is_member:
+                members.add(switch)
+            if state.on_tree and state.parent is not None:
+                edges.add(canonical_edge(switch, state.parent))
+        return MulticastTree.build(edges, members, root=self.cores[group_id])
+
+    def members_of(self, group_id: int) -> frozenset:
+        return frozenset(
+            sw for sw, st in self.state[group_id].items() if st.is_member
+        )

@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures``   -- regenerate the paper's Figures 6-8 (add ``--quick``),
+* ``compare``   -- the Section 4 D-GMC / MOSPF / brute-force comparison,
+* ``trace``     -- run a small conflict scenario and print the merged
+  protocol timeline plus the convergence profile,
+* ``hierarchy`` -- flat vs hierarchical D-GMC LSA-scoping comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from typing import List, Optional
+
+from repro.core import DgmcNetwork, JoinEvent, ProtocolConfig
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.harness.figures import experiment1, experiment2, experiment3
+    from repro.harness.report import render_rows
+
+    if args.quick:
+        sizes, graphs = (20, 60), 3
+    else:
+        sizes, graphs = (20, 40, 60, 80, 100), 10
+    print(render_rows(
+        experiment1(sizes=sizes, graphs_per_size=graphs, seed=args.seed),
+        "Figure 6 -- Experiment 1: bursty, computation dominates",
+    ))
+    print()
+    print(render_rows(
+        experiment2(sizes=sizes, graphs_per_size=graphs, seed=args.seed),
+        "Figure 7 -- Experiment 2: bursty, communication dominates",
+    ))
+    print()
+    print(render_rows(
+        experiment3(sizes=sizes, graphs_per_size=graphs, seed=args.seed),
+        "Figure 8 -- Experiment 3: normal traffic",
+        include_convergence=False,
+    ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.harness.figures import baseline_comparison
+    from repro.harness.report import render_comparison
+
+    sizes = (20, 60) if args.quick else (20, 40, 60, 80, 100)
+    graphs = 2 if args.quick else 5
+    rows = baseline_comparison(
+        sizes=sizes, graphs_per_size=graphs, seed=args.seed, bursty=args.bursty
+    )
+    flavor = "bursty" if args.bursty else "sparse"
+    print(render_comparison(rows, f"computations/event ({flavor} events)"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.topo.generators import waxman_network
+    from repro.trace import build_timeline, convergence_profile, render_timeline
+
+    rng = random.Random(args.seed)
+    net = waxman_network(args.switches, rng)
+    dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05))
+    dgmc.fabric.record_history = True
+    dgmc.register_symmetric(1)
+    for sw in rng.sample(range(net.n), args.members):
+        dgmc.inject(JoinEvent(sw, 1), at=1.0 + rng.random())  # conflicting burst
+    dgmc.run()
+    ok, detail = dgmc.agreement(1)
+    print(f"burst of {args.members} joins on {net.n} switches; agreement: {ok}\n")
+    print(render_timeline(build_timeline(dgmc, connection_id=1), limit=args.limit))
+    print("\nconvergence profile (switches settled over time):")
+    for t, count in convergence_profile(dgmc, 1):
+        print(f"  t={t:9.4f}  {count:3d}/{net.n}")
+    return 0 if ok else 1
+
+
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    from repro.hier import AreaPlan, HierDgmcNetwork
+    from repro.topo.generators import clustered_network
+
+    rng = random.Random(args.seed)
+    net, assignment = clustered_network(args.areas, args.area_size, rng)
+    joiners = rng.sample(range(net.n), args.members)
+    config = ProtocolConfig(compute_time=0.5, per_hop_delay=0.05)
+
+    flat = DgmcNetwork(net.copy(), config)
+    flat.register_symmetric(1)
+    for i, sw in enumerate(joiners):
+        flat.inject(JoinEvent(sw, 1), at=50.0 * (i + 1))
+    flat.run()
+
+    plan = AreaPlan(net.copy(), assignment)
+    hier = HierDgmcNetwork(plan, config)
+    hier.register_symmetric(1)
+    for i, sw in enumerate(joiners):
+        hier.inject_join(sw, 1, at=50.0 * (i + 1))
+    hier.run()
+
+    ok, detail = hier.agreement(1)
+    print(f"{args.areas} areas x {args.area_size} switches; "
+          f"{args.members} members; hierarchy agreement: {ok}")
+    print(f"{'':>24}{'flat':>10}{'hierarchical':>14}")
+    print(f"{'LSA floodings':>24}{flat.fabric.total_floods:>10}"
+          f"{hier.total_floodings():>14}")
+    print(f"{'LSA deliveries':>24}{flat.fabric.delivery_count:>10}"
+          f"{hier.total_lsa_deliveries():>14}")
+    print(f"{'topology computations':>24}{flat.total_computations():>10}"
+          f"{hier.total_computations():>14}")
+    saved = 1.0 - hier.total_lsa_deliveries() / max(flat.fabric.delivery_count, 1)
+    print(f"\nhierarchy scopes away {saved:.0%} of LSA deliveries")
+    print(f"stitched topology spans all members: {hier.spans_members(1)}")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="D-GMC reproduction (Huang & McKinley, ICDCS 1996)",
+    )
+    parser.add_argument("--seed", type=int, default=1996)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="regenerate Figures 6-8")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("compare", help="D-GMC vs MOSPF vs brute-force")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--bursty", action="store_true")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("trace", help="timeline of a conflicting join burst")
+    p.add_argument("--switches", type=int, default=12)
+    p.add_argument("--members", type=int, default=4)
+    p.add_argument("--limit", type=int, default=40)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("hierarchy", help="flat vs hierarchical D-GMC")
+    p.add_argument("--areas", type=int, default=4)
+    p.add_argument("--area-size", type=int, default=16)
+    p.add_argument("--members", type=int, default=8)
+    p.set_defaults(func=_cmd_hierarchy)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

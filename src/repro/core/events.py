@@ -1,0 +1,77 @@
+"""Network events: membership dynamics and link/nodal changes.
+
+"Changes in network status are termed network events, or simply events."
+Membership events (join / leave) originate from hosts via their ingress
+switch; link events are detected by a switch incident to the link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.core.mc import Role
+
+
+@dataclass(frozen=True)
+class MemberEvent:
+    """Base: a membership change for one connection at one switch."""
+
+    switch: int
+    connection_id: int
+
+
+@dataclass(frozen=True)
+class JoinEvent(MemberEvent):
+    """Switch ``switch`` joins connection ``connection_id`` with ``role``.
+
+    ``role`` may be ``None`` for the connection type's default (symmetric
+    -> BOTH, receiver-only -> RECEIVER).
+    """
+
+    role: Optional[Role] = None
+
+
+@dataclass(frozen=True)
+class LeaveEvent(MemberEvent):
+    """Switch ``switch`` leaves connection ``connection_id`` entirely."""
+
+
+@dataclass(frozen=True)
+class NodeEvent:
+    """A switch died or recovered (the paper's "nodal" events).
+
+    In link-state routing a dead switch cannot announce its own death;
+    each *neighbor* detects the loss of its incident link and floods
+    accordingly.  The protocol layer expands a NodeEvent into one link
+    event per incident up link, detected from the surviving side.
+    """
+
+    switch: int
+    up: bool
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """A link changed state, detected by switch ``detector``.
+
+    Figure 2: one link event triggers one non-MC LSA (flooded by the
+    unicast layer) followed by one MC LSA per affected connection
+    (``V = link``); the detector floods all of them.
+    """
+
+    detector: int
+    u: int
+    v: int
+    up: bool
+
+    @property
+    def endpoints(self) -> FrozenSet[int]:
+        return frozenset((self.u, self.v))
+
+    def __post_init__(self) -> None:
+        if self.detector not in (self.u, self.v):
+            raise ValueError(
+                f"detector {self.detector} is not an endpoint of "
+                f"link ({self.u}, {self.v})"
+            )

@@ -1,0 +1,395 @@
+"""Network-wide D-GMC protocol instance.
+
+:class:`DgmcNetwork` wires the substrates together: the physical
+:class:`~repro.topo.graph.Network`, one
+:class:`~repro.lsr.router.UnicastRouter` and one
+:class:`~repro.core.switch.DgmcSwitch` per switch, and a shared
+:class:`~repro.lsr.flooding.FloodingFabric`.  It is the public entry point
+for experiments and examples: register connections, inject join / leave /
+link events, run the simulation, inspect agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.events import JoinEvent, LeaveEvent, LinkEvent, NodeEvent
+from repro.core.lsa import McEvent, McLsa
+from repro.core.mc import ConnectionSpec, ConnectionType, Role
+from repro.core.state import McState
+from repro.core.switch import DgmcSwitch
+from repro.lsr.flooding import FloodingFabric
+from repro.lsr.lsa import NonMcLsa
+from repro.lsr.router import UnicastRouter, bring_up_unicast
+from repro.sim.kernel import Simulator
+from repro.topo.graph import Network
+
+ComputeTime = Union[float, Callable[[McState], float]]
+
+
+@dataclass
+class ProtocolConfig:
+    """Tunable parameters of a D-GMC deployment.
+
+    * ``compute_time`` -- Tc, the topology computation time: a constant or
+      a callable of the :class:`~repro.core.state.McState` (e.g. scaling
+      with member count, as on the MSU ATM testbed).
+    * ``per_hop_delay`` -- fixed per-hop LSA transmission time; ``None``
+      uses the physical link delays.
+    * ``reoptimize_on_link_up`` -- whether a link *recovery* counts as an
+      event for every active connection (ablation knob; the paper only
+      discusses link failures).
+
+    Ablation knobs (each disables one design choice of Section 3.3, for
+    the ``benchmarks/bench_ablations.py`` study; all default off):
+
+    * ``ablate_withdrawal`` -- flood a triggered proposal even when LSAs
+      raced in during its computation (skip Figure 5 line 22's guard),
+    * ``ablate_rc_gate`` -- drop the ``R > C`` optimization (recompute even
+      when the installed topology already covers the event set),
+    * ``ablate_re_gate`` -- drop the ``R >= E`` deferral (compute eagerly
+      even when outstanding LSAs are known).
+    """
+
+    compute_time: ComputeTime = 1.0
+    per_hop_delay: Optional[float] = None
+    reoptimize_on_link_up: bool = False
+    ablate_withdrawal: bool = False
+    ablate_rc_gate: bool = False
+    ablate_re_gate: bool = False
+
+    def resolve_compute_time(self, state: McState) -> float:
+        if callable(self.compute_time):
+            return float(self.compute_time(state))
+        return float(self.compute_time)
+
+
+@dataclass
+class ComputationRecord:
+    """One topology computation, as observed by the metrics hook."""
+
+    time: float
+    switch: int
+    connection_id: int
+
+
+@dataclass
+class InstallRecord:
+    """One topology install (a switch adopting a proposal)."""
+
+    time: float
+    switch: int
+    connection_id: int
+    stamp: Tuple[int, ...]
+    proposer: int
+
+
+class DgmcNetwork:
+    """A complete simulated D-GMC deployment."""
+
+    def __init__(
+        self,
+        net: Network,
+        config: Optional[ProtocolConfig] = None,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        self.net = net
+        self.config = config or ProtocolConfig()
+        self.sim = sim or Simulator()
+        self.fabric = FloodingFabric(
+            self.sim, net, per_hop_delay=self.config.per_hop_delay
+        )
+        self.connection_registry: Dict[int, ConnectionSpec] = {}
+        self.routers: Dict[int, UnicastRouter] = bring_up_unicast(net, self.fabric)
+        self.switches: Dict[int, DgmcSwitch] = {}
+        self.computation_log: List[ComputationRecord] = []
+        self.install_log: List[InstallRecord] = []
+        self.events_injected = 0
+        self._mc_event_count = 0
+        #: Switches currently failed ("nodal events"); they neither
+        #: receive floods nor originate anything until revived.
+        self.dead_switches: set = set()
+        for x in net.switches():
+            switch = DgmcSwitch(
+                self.sim,
+                x,
+                net.n,
+                self.routers[x],
+                self.fabric,
+                self.config,
+                self.connection_registry,
+                on_computation=self._record_computation,
+                on_install=self._record_install,
+            )
+            self.switches[x] = switch
+            self.fabric.register(x, self._deliver)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _record_computation(self, switch: int, connection_id: int) -> None:
+        self.computation_log.append(
+            ComputationRecord(self.sim.now, switch, connection_id)
+        )
+
+    def _record_install(
+        self, switch: int, connection_id: int, stamp: tuple, proposer: int
+    ) -> None:
+        self.install_log.append(
+            InstallRecord(self.sim.now, switch, connection_id, stamp, proposer)
+        )
+
+    def _deliver(self, switch_id: int, payload) -> None:
+        """Fabric delivery hook: route LSAs to the right protocol layer."""
+        if switch_id in self.dead_switches:
+            return  # a failed switch hears nothing
+        if isinstance(payload, McLsa):
+            self.switches[switch_id].deliver_mc_lsa(payload)
+        elif isinstance(payload, NonMcLsa):
+            self.routers[switch_id].receive(payload)
+        else:  # pragma: no cover - guards against harness bugs
+            raise TypeError(f"unexpected flooded payload {payload!r}")
+
+    # -- connection registry ------------------------------------------------------
+
+    def register_connection(self, spec: ConnectionSpec) -> ConnectionSpec:
+        """Declare an MC (its id, type, and algorithm) before use."""
+        if spec.connection_id in self.connection_registry:
+            raise ValueError(f"connection {spec.connection_id} already registered")
+        self.connection_registry[spec.connection_id] = spec
+        return spec
+
+    def register_symmetric(self, connection_id: int, **kw) -> ConnectionSpec:
+        return self.register_connection(
+            ConnectionSpec(connection_id, ConnectionType.SYMMETRIC, **kw)
+        )
+
+    def register_receiver_only(self, connection_id: int, **kw) -> ConnectionSpec:
+        return self.register_connection(
+            ConnectionSpec(connection_id, ConnectionType.RECEIVER_ONLY, **kw)
+        )
+
+    def register_asymmetric(self, connection_id: int) -> ConnectionSpec:
+        return self.register_connection(
+            ConnectionSpec(connection_id, ConnectionType.ASYMMETRIC)
+        )
+
+    # -- event injection --------------------------------------------------------------
+
+    def inject(
+        self,
+        event: Union[JoinEvent, LeaveEvent, LinkEvent, NodeEvent],
+        at: float,
+    ) -> None:
+        """Schedule an event for simulated time ``at``."""
+        if isinstance(event, JoinEvent):
+            self.sim.schedule_at(at, lambda: self._fire_join(event))
+        elif isinstance(event, LeaveEvent):
+            self.sim.schedule_at(at, lambda: self._fire_leave(event))
+        elif isinstance(event, LinkEvent):
+            self.sim.schedule_at(at, lambda: self._fire_link(event))
+        elif isinstance(event, NodeEvent):
+            self.sim.schedule_at(at, lambda: self._fire_node(event))
+        else:
+            raise TypeError(f"unknown event {event!r}")
+
+    def _check_alive(self, switch: int) -> None:
+        if switch in self.dead_switches:
+            raise ValueError(f"switch {switch} is failed; no events possible")
+
+    def _fire_join(self, event: JoinEvent) -> None:
+        self._check_alive(event.switch)
+        self.events_injected += 1
+        self._mc_event_count += 1
+        self.switches[event.switch]  # KeyError early if invalid
+        self.sim.spawn(
+            self.switches[event.switch].event_handler(
+                McEvent.JOIN, event.connection_id, role=event.role
+            ),
+            name=f"EventHandler(join, sw={event.switch}, m={event.connection_id})",
+        )
+
+    def _fire_leave(self, event: LeaveEvent) -> None:
+        self._check_alive(event.switch)
+        self.events_injected += 1
+        self._mc_event_count += 1
+        self.sim.spawn(
+            self.switches[event.switch].event_handler(
+                McEvent.LEAVE, event.connection_id
+            ),
+            name=f"EventHandler(leave, sw={event.switch}, m={event.connection_id})",
+        )
+
+    def _fire_node(self, event: NodeEvent) -> None:
+        """A nodal event: every incident link flaps, detected by neighbors.
+
+        A dead switch cannot flood its own obituary; each live neighbor
+        detects its incident link going down and reacts (one non-MC LSA
+        plus MC LSAs for the connections whose topology used the link).
+        Recovery reverses the process, again announced by the neighbors;
+        the revived switch re-originates its own router LSA so unicast
+        databases refresh.  Ghost MC memberships of a dead switch linger
+        in member lists (nobody can leave on its behalf) -- topology
+        computations route around them via component-dominant member
+        selection; the ghost rejoins cleanly on revival.
+        """
+        self.events_injected += 1
+        if not event.up:
+            if event.switch in self.dead_switches:
+                return
+            self.dead_switches.add(event.switch)
+            neighbors = self.net.neighbors(event.switch)
+            for nbr in neighbors:
+                self.net.set_link_state(event.switch, nbr, False)
+            for nbr in neighbors:
+                self._detect_link_change(nbr, event.switch, up=False)
+        else:
+            if event.switch not in self.dead_switches:
+                return
+            self.dead_switches.discard(event.switch)
+            neighbors = [
+                nbr
+                for nbr in self.net.neighbors(event.switch, include_down=True)
+                if nbr not in self.dead_switches
+            ]
+            for nbr in neighbors:
+                self.net.set_link_state(event.switch, nbr, True)
+            self.routers[event.switch].originate(flood=True)
+            for nbr in neighbors:
+                self._detect_link_change(nbr, event.switch, up=True)
+
+    def _detect_link_change(self, detector: int, other: int, up: bool) -> None:
+        """One endpoint notices an incident link change and reacts."""
+        self.routers[detector].notify_incident_link_event()
+        switch = self.switches[detector]
+        synthetic = LinkEvent(detector, detector, other, up=up)
+        for connection_id in self._affected_connections(switch, synthetic):
+            self._mc_event_count += 1
+            self.sim.spawn(
+                switch.event_handler(McEvent.LINK, connection_id),
+                name=f"EventHandler(link, sw={detector}, m={connection_id})",
+            )
+
+    def _fire_link(self, event: LinkEvent) -> None:
+        """A link event: one non-MC LSA, then one MC LSA per affected MC."""
+        self._check_alive(event.detector)
+        self.events_injected += 1
+        self.net.set_link_state(event.u, event.v, event.up)
+        detector = self.switches[event.detector]
+        # The unicast layer floods exactly one non-MC LSA (Figure 2) and
+        # updates the detector's own image.
+        self.routers[event.detector].notify_incident_link_event()
+        for connection_id in self._affected_connections(detector, event):
+            self._mc_event_count += 1
+            self.sim.spawn(
+                detector.event_handler(McEvent.LINK, connection_id),
+                name=(
+                    f"EventHandler(link, sw={event.detector}, m={connection_id})"
+                ),
+            )
+
+    def _affected_connections(
+        self, detector: DgmcSwitch, event: LinkEvent
+    ) -> List[int]:
+        """Connections whose topology the link event affects.
+
+        A failure affects every connection whose installed topology (at the
+        detector) uses the link; a recovery affects none by default, or all
+        active connections when ``reoptimize_on_link_up`` is set.
+        """
+        if event.up:
+            if self.config.reoptimize_on_link_up:
+                return sorted(detector.states)
+            return []
+        edge = tuple(sorted((event.u, event.v)))
+        affected = []
+        for connection_id, state in sorted(detector.states.items()):
+            if state.installed is not None and edge in state.installed.all_edges():
+                affected.append(connection_id)
+        return affected
+
+    # -- running ------------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drive the simulation (to quiescence when ``until`` is None)."""
+        return self.sim.run(until=until)
+
+    def quiescent(self) -> bool:
+        """No queued LSAs anywhere and no pending simulation events."""
+        if self.sim.peek() is not None:
+            return False
+        return all(
+            box.empty
+            for switch in self.switches.values()
+            for box in switch._mailboxes.values()
+        )
+
+    # -- inspection ----------------------------------------------------------------------
+
+    @property
+    def mc_event_count(self) -> int:
+        """Membership events plus per-connection link events (the paper's
+        denominator for "per event" metrics)."""
+        return self._mc_event_count
+
+    def states_for(self, connection_id: int) -> Dict[int, McState]:
+        """The per-switch states currently held for a connection."""
+        return {
+            x: sw.states[connection_id]
+            for x, sw in self.switches.items()
+            if connection_id in sw.states
+        }
+
+    def agreement(self, connection_id: int) -> Tuple[bool, str]:
+        """Check global agreement for a connection after quiescence.
+
+        Returns ``(ok, detail)``: all switches holding state for the
+        connection must agree on the member list, the C stamp, and the
+        installed topology.  A connection with no state anywhere (fully
+        destroyed) trivially agrees.
+        """
+        states = {
+            x: s
+            for x, s in self.states_for(connection_id).items()
+            if x not in self.dead_switches
+        }
+        if not states:
+            return True, "no state anywhere (connection destroyed)"
+        reference_switch = min(states)
+        ref = states[reference_switch]
+        for x, state in sorted(states.items()):
+            if state.members != ref.members:
+                return False, (
+                    f"member list mismatch at switch {x}: "
+                    f"{sorted(state.members)} != {sorted(ref.members)}"
+                )
+            if state.current_stamp != ref.current_stamp:
+                return False, (
+                    f"C mismatch at switch {x}: "
+                    f"{state.current_stamp} != {ref.current_stamp}"
+                )
+            if state.installed != ref.installed:
+                return False, f"installed topology mismatch at switch {x}"
+        return True, f"{len(states)} switches agree"
+
+    def last_install_time(self, connection_id: int) -> float:
+        """Latest install time across live switches (convergence numerator)."""
+        states = self.states_for(connection_id)
+        times = [
+            s.last_install_time
+            for x, s in states.items()
+            if x not in self.dead_switches
+        ]
+        return max(times) if times else 0.0
+
+    def total_computations(self) -> int:
+        return len(self.computation_log)
+
+    def mc_floodings(self) -> int:
+        return self.fabric.count_for("mc")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DgmcNetwork(n={self.net.n}, "
+            f"connections={sorted(self.connection_registry)})"
+        )

@@ -1,0 +1,123 @@
+"""Per-(switch, connection) protocol state.
+
+"Every switch in the network maintains three timestamps for each MC: the
+received timestamp R, the expected stamp E, and the current topology
+timestamp C. [...] There is one make_proposal_flag variable for each
+connection m."  (Sections 3.2, 3.3)
+
+The state also holds the local member list for the connection, the
+currently installed topology (what "update routing entries" acts on), and
+the connection's topology-algorithm instance (which, for incremental
+algorithms, carries the previous tree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.core.mc import ConnectionSpec, Role, default_role
+from repro.core.timestamp import VectorTimestamp
+from repro.trees.base import McTopology
+
+
+class McState:
+    """All D-GMC state one switch keeps for one connection.
+
+    ``resume_from`` restores the (R, E, C) vectors saved when this
+    connection's state was last destroyed at this switch (the *tombstone*;
+    see :meth:`repro.core.switch.DgmcSwitch._maybe_destroy`).  Event counts
+    are cumulative per origin and must never restart while other switches
+    retain memory, or their staleness checks (``R[x] > T[x]``) would
+    poison every post-recreation LSA.
+    """
+
+    def __init__(
+        self,
+        spec: ConnectionSpec,
+        n: int,
+        resume_from: Optional[Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]] = None,
+    ) -> None:
+        self.spec = spec
+        self.n = n
+        if resume_from is None:
+            received, expected, current = (0,) * n, (0,) * n, (0,) * n
+        else:
+            received, expected, current = resume_from
+        #: R: events heard, per origin switch.
+        self.received = VectorTimestamp(received)
+        #: E: events known to exist (component-wise max of LSA stamps seen).
+        self.expected = VectorTimestamp(expected)
+        #: C: the stamp the installed topology is based on.
+        self.current_stamp: Tuple[int, ...] = tuple(current)
+        #: The shared make_proposal_flag of the two protocol entities.
+        self.make_proposal_flag = False
+        #: Member list: switch -> role strings ({"sender"}, {"receiver"}, both).
+        self.members: Dict[int, FrozenSet[str]] = {}
+        #: The currently installed topology (None before the first accept).
+        self.installed: Optional[McTopology] = None
+        #: Proposer of the installed topology (tie-break among equal-stamp
+        #: proposals; ``n`` is the "no proposer yet" sentinel, losing every
+        #: tie).  See the tie-breaking note in repro.core.switch.
+        self.current_proposer: int = n
+        #: Simulated time of the most recent install (convergence metric).
+        self.last_install_time: float = 0.0
+        #: The connection's topology algorithm (may carry incremental state).
+        self.algorithm = spec.make_algorithm()
+        #: Diagnostics: number of proposals this switch computed / accepted.
+        self.proposals_computed = 0
+        self.proposals_accepted = 0
+        self.proposals_withdrawn = 0
+
+    # -- membership ------------------------------------------------------------
+
+    def apply_join(self, switch: int, role: Optional[Role]) -> None:
+        """Add (or extend) a member.  Role defaults by connection type."""
+        resolved = role if role is not None else default_role(self.spec.ctype)
+        roles = self.members.get(switch, frozenset())
+        self.members[switch] = roles | resolved.as_role_set()
+
+    def apply_leave(self, switch: int) -> None:
+        """Remove a member entirely (idempotent)."""
+        self.members.pop(switch, None)
+
+    @property
+    def member_set(self) -> FrozenSet[int]:
+        return frozenset(self.members)
+
+    @property
+    def empty(self) -> bool:
+        """True when the member list is empty (MC destruction trigger)."""
+        return not self.members
+
+    # -- timestamp predicates (the guards of Figures 4 and 5) ----------------
+
+    def no_outstanding_lsas(self) -> bool:
+        """``R >= E``: every LSA known to exist has been received."""
+        return self.received.geq(self.expected)
+
+    def covers_new_events(self) -> bool:
+        """``R > C``: events exist that the installed topology misses."""
+        return self.received.gt(self.current_stamp)
+
+    # -- install -----------------------------------------------------------------
+
+    def install(
+        self,
+        topology: McTopology,
+        stamp: Tuple[int, ...],
+        now: float,
+        proposer: int,
+    ) -> None:
+        """Adopt a topology: set C and update "routing entries"."""
+        self.installed = topology
+        self.current_stamp = tuple(stamp)
+        self.current_proposer = proposer
+        self.last_install_time = now
+        self.proposals_accepted += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"McState(G={self.spec.connection_id}, R={self.received.snapshot()}, "
+            f"E={self.expected.snapshot()}, C={self.current_stamp}, "
+            f"members={sorted(self.members)}, flag={self.make_proposal_flag})"
+        )

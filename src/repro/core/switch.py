@@ -1,0 +1,376 @@
+"""The D-GMC switch: the two protocol entities of Figures 4 and 5.
+
+"Two MC protocol entities, EventHandler() and ReceiveLSA(), execute at
+every network switch."  Both are simulation processes here:
+
+* ``EventHandler()`` runs once per local event per affected connection; it
+  floods an event LSA and, when no outstanding LSAs are known (``R >= E``),
+  computes and attaches a topology proposal.
+* ``ReceiveLSA()`` is a per-connection daemon that drains the connection's
+  mailbox, updates R / E / member lists, accepts proposals whose timestamp
+  dominates E, detects inconsistencies (``R[x] > T[x]``), and computes and
+  floods *triggered* proposals -- withdrawing them when new LSAs race in.
+
+Topology computations cost Tc simulated time and contend for the switch's
+single CPU (a :class:`~repro.sim.resource.Facility`); LSA bookkeeping is
+free, which matches the paper's cost model ("timestamp accesses are assumed
+to be atomic").
+
+Two documented deviations from the paper's pseudocode (see DESIGN.md):
+
+1. Line 26 of Figure 5 reads ``candidate_proposal_stamp = C`` after a
+   successful triggered flood, which would leave C frozen forever and
+   defeat the ``R > C`` optimization; the intended value (consistent with
+   line 8 of Figure 4, ``C = old_R``) is the saved ``old_R``, which is
+   what this implementation uses.
+2. **Withdrawal scope** (Figure 5 line 29): on withdrawal the paper nulls
+   the whole candidate variable, which silently discards any *received*
+   proposal picked as candidate earlier in the same mailbox batch; since
+   the LSA is already consumed, that proposal can never be reconsidered,
+   and under sustained conflict a switch can permanently miss the winning
+   proposal.  Here withdrawal discards only the switch's own uncommitted
+   proposal.
+3. **Equal-stamp tie-breaking.**  Two switches can concurrently compute
+   proposals covering the *same* event set, hence carrying the *same*
+   timestamp.  With a history-dependent topology algorithm (the Section
+   3.5 incremental updates the paper advocates) those proposals can
+   differ, and Figure 5's "accept if T >= E" would leave each switch with
+   whichever arrived last -- which depends on flooding distances and thus
+   differs across switches.  This implementation adds the natural
+   deterministic rule: among proposals with equal timestamps, the one from
+   the smallest switch id wins.  Every switch eventually sees the same
+   proposal set per timestamp, so all pick the same winner and agreement
+   is restored.  (With history-free algorithms equal-stamp proposals are
+   bitwise identical and the rule is vacuous.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, Optional, TYPE_CHECKING
+
+from repro.core.lsa import McEvent, McLsa
+from repro.core.mc import ConnectionSpec, Role, default_role
+from repro.core.state import McState
+from repro.core.timestamp import stamp_geq, stamp_gt
+from repro.lsr.router import UnicastRouter
+from repro.sim.kernel import Simulator
+from repro.sim.mailbox import Mailbox
+from repro.sim.process import Hold, Receive
+from repro.sim.resource import Facility
+from repro.trees.base import McTopology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.protocol import ProtocolConfig
+    from repro.lsr.flooding import FloodingFabric
+
+
+class DgmcSwitch:
+    """Per-switch D-GMC protocol engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch_id: int,
+        n: int,
+        router: UnicastRouter,
+        fabric: "FloodingFabric",
+        config: "ProtocolConfig",
+        connection_registry: Dict[int, ConnectionSpec],
+        on_computation: Optional[Callable[[int, int], None]] = None,
+        on_install: Optional[Callable[[int, int, tuple, int], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.switch_id = switch_id
+        self.n = n
+        self.router = router
+        self.fabric = fabric
+        self.config = config
+        self.connection_registry = connection_registry
+        #: Hook (switch, connection) -> None fired per topology computation.
+        self.on_computation = on_computation
+        #: Hook (switch, connection, stamp, proposer) fired per install.
+        self.on_install = on_install
+        self.cpu = Facility(sim, name=f"cpu-{switch_id}")
+        self.states: Dict[int, McState] = {}
+        self._mailboxes: Dict[int, Mailbox] = {}
+        self._daemons: Dict[int, object] = {}
+        #: (R, E, C) snapshots of destroyed connections, keyed by id, so a
+        #: recreated connection resumes its event counts (see McState).
+        self._tombstones: Dict[int, tuple] = {}
+        #: Diagnostics.
+        self.computations = 0
+        self.event_lsas_flooded = 0
+        self.triggered_lsas_flooded = 0
+
+    # -- state management ----------------------------------------------------
+
+    def get_or_create_state(self, connection_id: int) -> McState:
+        """Allocate per-MC data structures on first contact (Section 3.4)."""
+        state = self.states.get(connection_id)
+        if state is None:
+            spec = self.connection_registry.get(connection_id)
+            if spec is None:
+                raise KeyError(
+                    f"connection {connection_id} not in the connection registry"
+                )
+            state = McState(
+                spec, self.n, resume_from=self._tombstones.get(connection_id)
+            )
+            self.states[connection_id] = state
+            box = Mailbox(
+                self.sim, name=f"sw{self.switch_id}-mc{connection_id}"
+            )
+            self._mailboxes[connection_id] = box
+            self._daemons[connection_id] = self.sim.spawn(
+                self._receive_lsa_daemon(connection_id, state, box),
+                name=f"ReceiveLSA(sw={self.switch_id}, m={connection_id})",
+            )
+        return state
+
+    def mailbox(self, connection_id: int) -> Mailbox:
+        self.get_or_create_state(connection_id)
+        return self._mailboxes[connection_id]
+
+    def _maybe_destroy(self, connection_id: int) -> bool:
+        """Delete local MC data structures when the member list is empty.
+
+        "When a switch detects an empty member list of an MC, local data
+        structures corresponding to the MC are deleted."  Deletion waits
+        for an empty mailbox so queued LSAs are never dropped.
+        """
+        state = self.states.get(connection_id)
+        box = self._mailboxes.get(connection_id)
+        if state is None or box is None:
+            return False
+        if state.empty and box.empty:
+            self._tombstones[connection_id] = (
+                state.received.snapshot(),
+                state.expected.snapshot(),
+                state.current_stamp,
+            )
+            del self.states[connection_id]
+            del self._mailboxes[connection_id]
+            del self._daemons[connection_id]
+            return True
+        return False
+
+    def has_connection(self, connection_id: int) -> bool:
+        return connection_id in self.states
+
+    # -- LSA delivery (called by the flooding fabric) ----------------------------
+
+    def deliver_mc_lsa(self, lsa: McLsa) -> None:
+        """Deposit a flooded MC LSA into the connection's mailbox."""
+        self.get_or_create_state(lsa.connection_id)
+        self._mailboxes[lsa.connection_id].send(lsa)
+
+    # -- topology computation ----------------------------------------------------
+
+    def _compute_proposal(self, state: McState):
+        """Subroutine: one topology computation (costs Tc on the CPU).
+
+        The inputs (member list, network image, previously installed
+        topology) are snapshotted at computation start; the result reflects
+        that snapshot even if LSAs modify the state during the Tc window.
+        """
+        members = dict(state.members)
+        image = self.router.network_image()
+        previous = state.installed
+        yield self.cpu.request()
+        try:
+            yield Hold(self.config.resolve_compute_time(state))
+        finally:
+            self.cpu.release()
+        self.computations += 1
+        state.proposals_computed += 1
+        if self.on_computation is not None:
+            self.on_computation(self.switch_id, state.spec.connection_id)
+        if not members:
+            return McTopology.empty()
+        return state.algorithm.compute(image, members, previous)
+
+    # -- EventHandler() : Figure 4 ---------------------------------------------
+
+    def event_handler(
+        self,
+        event: McEvent,
+        connection_id: int,
+        role: Optional[Role] = None,
+    ):
+        """Generator body of EventHandler() for one event and connection.
+
+        The caller (the protocol layer) spawns this as a process.  For
+        membership events the local member list is updated before the
+        timestamps are advanced, so a proposal computed here reflects the
+        new membership.
+        """
+        x = self.switch_id
+        state = self.get_or_create_state(connection_id)
+        if event is McEvent.JOIN:
+            if role is None:
+                role = default_role(state.spec.ctype)
+            state.apply_join(x, role)
+        elif event is McEvent.LEAVE:
+            state.apply_leave(x)
+        # Line 1: R[x] += 1; E[x] += 1.
+        state.received.increment(x)
+        state.expected.increment(x)
+
+        if state.no_outstanding_lsas() or self.config.ablate_re_gate:  # line 2
+            old_r = state.received.snapshot()  # line 4
+            proposal = yield from self._compute_proposal(state)  # line 5
+            if state.received.equals(old_r):  # line 6: proposal still valid
+                self._flood(
+                    McLsa(x, event, connection_id, proposal, old_r, role)
+                )  # line 7
+                state.make_proposal_flag = False  # line 9
+                self._install(state, proposal, old_r, proposer=x)  # lines 8, 10
+            else:  # lines 11-13: flood event only, defer to ReceiveLSA()
+                self._flood(McLsa(x, event, connection_id, None, old_r, role))
+                state.make_proposal_flag = True
+        else:  # lines 15-17: outstanding LSAs known; defer to ReceiveLSA()
+            self._flood(
+                McLsa(x, event, connection_id, None, state.received.snapshot(), role)
+            )
+            state.make_proposal_flag = True
+        self._maybe_destroy(connection_id)
+
+    def _flood(self, lsa: McLsa) -> None:
+        if lsa.is_event_lsa:
+            self.event_lsas_flooded += 1
+        else:
+            self.triggered_lsas_flooded += 1
+        self.fabric.flood(self.switch_id, lsa, kind="mc")
+
+    # -- ReceiveLSA() : Figure 5 -------------------------------------------------
+
+    def _receive_lsa_daemon(self, connection_id: int, state: McState, box: Mailbox):
+        """Daemon: block on the mailbox, then run the ReceiveLSA() body.
+
+        The daemon exits when the connection's local state is destroyed.
+        """
+        x = self.switch_id
+        while True:
+            first = yield Receive(box)
+            yield from self._receive_lsa_body(connection_id, state, box, first)
+            if self._maybe_destroy(connection_id):
+                return
+
+    def _receive_lsa_body(
+        self, connection_id: int, state: McState, box: Mailbox, first: McLsa
+    ):
+        """One invocation of the ReceiveLSA() algorithm (Figure 5)."""
+        x = self.switch_id
+        # Lines 1-2.  The candidate starts as "the installed topology":
+        # a proposal must beat (stamp, proposer) of what is installed.
+        candidate: Optional[McTopology] = None
+        candidate_stamp = state.current_stamp
+        candidate_proposer = state.current_proposer
+        pending: deque[McLsa] = deque([first])
+
+        # Lines 3-18: consume every LSA currently in the mailbox.
+        while pending or not box.empty:
+            if pending:
+                lsa = pending.popleft()
+            else:
+                _, lsa = box.try_receive()
+            if lsa.is_event_lsa:  # lines 5-9
+                state.received.increment(lsa.source)
+                if lsa.event is McEvent.JOIN:
+                    state.apply_join(lsa.source, lsa.role)
+                elif lsa.event is McEvent.LEAVE:
+                    state.apply_leave(lsa.source)
+                # V = link: membership unchanged; the topology change is
+                # learned via the unicast layer's non-MC LSA.
+            state.expected.merge(lsa.timestamp)  # line 10
+            if lsa.proposal is not None and stamp_geq(
+                lsa.timestamp, state.expected.snapshot()
+            ):  # lines 11-14
+                state.make_proposal_flag = False
+                if self._beats(
+                    lsa.timestamp, lsa.source, candidate_stamp, candidate_proposer
+                ):
+                    candidate = lsa.proposal
+                    candidate_stamp = lsa.timestamp
+                    candidate_proposer = lsa.source
+            elif state.received[x] > lsa.timestamp[x]:  # lines 15-16
+                state.make_proposal_flag = True
+
+        # Lines 19-31: decide whether to compute a triggered proposal.
+        if (
+            state.make_proposal_flag
+            and (state.no_outstanding_lsas() or self.config.ablate_re_gate)
+            and (state.covers_new_events() or self.config.ablate_rc_gate)
+        ):
+            old_r = state.received.snapshot()  # line 20
+            proposal = yield from self._compute_proposal(state)  # line 21
+            if (
+                box.empty and state.received.equals(old_r)
+            ) or self.config.ablate_withdrawal:  # line 22
+                self._flood(
+                    McLsa(x, McEvent.NONE, connection_id, proposal, old_r)
+                )  # line 23
+                # Line 24: E = R.  (merge, not assign: with the withdrawal
+                # ablation E may already exceed old_r and must stay monotone.)
+                state.expected.merge(old_r)
+                state.make_proposal_flag = False  # line 27
+                if self._beats(old_r, x, candidate_stamp, candidate_proposer):
+                    candidate = proposal  # line 25
+                    candidate_stamp = old_r  # line 26 (paper misprints C)
+                    candidate_proposer = x
+            else:
+                # Lines 28-30: withdraw the proposal.  The paper's line 29
+                # nulls candidate_proposal outright, which also discards a
+                # *received* proposal selected earlier in this batch -- the
+                # LSA has been consumed, so that proposal would be lost
+                # forever, and under sustained conflict (compute windows
+                # that always overlap new arrivals) a switch can miss the
+                # winning proposal entirely and stay split from the rest.
+                # Withdrawing only the own (never-adopted) proposal fixes
+                # the liveness hole; see deviation 3 in the module
+                # docstring and DESIGN.md.
+                state.proposals_withdrawn += 1
+
+        # Lines 32-35: accept the surviving candidate.
+        if candidate is not None:
+            self._install(state, candidate, candidate_stamp, candidate_proposer)
+
+    def _install(self, state: McState, topology, stamp, proposer: int) -> None:
+        state.install(topology, stamp, self.sim.now, proposer=proposer)
+        if self.on_install is not None:
+            self.on_install(
+                self.switch_id, state.spec.connection_id, tuple(stamp), proposer
+            )
+
+    @staticmethod
+    def _beats(
+        stamp, proposer: int, incumbent_stamp, incumbent_proposer: int
+    ) -> bool:
+        """Proposal precedence: later event set wins; ties go to lower id.
+
+        ``stamp`` is guaranteed comparable to ``incumbent_stamp`` here
+        (both dominate the E values at their acceptance points, and E only
+        grows), so the order is total.
+        """
+        if stamp_gt(stamp, incumbent_stamp):
+            return True
+        return tuple(stamp) == tuple(incumbent_stamp) and proposer < incumbent_proposer
+
+    # -- forwarding view -------------------------------------------------------------
+
+    def forwarding_links(self, connection_id: int) -> list[tuple[int, int]]:
+        """Edges of the installed topology incident to this switch.
+
+        These are the "routing entries for incident links in m" that the
+        protocol updates on install.
+        """
+        state = self.states.get(connection_id)
+        if state is None or state.installed is None:
+            return []
+        return sorted(
+            e for e in state.installed.all_edges() if self.switch_id in e
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DgmcSwitch(id={self.switch_id}, connections={sorted(self.states)})"

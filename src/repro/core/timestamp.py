@@ -1,0 +1,148 @@
+"""Vector timestamps: the D-GMC consistency mechanism.
+
+"A timestamp T is an n-tuple of natural numbers, where n is the number of
+switches in the network.  The x-th component of T, denoted by T[x],
+specifies how many events have been heard from switch x.  Given two
+timestamps A and B, we say that A >= B if a_i >= b_i for all i; A > B if
+A >= B and A != B."  (Section 3)
+
+:class:`VectorTimestamp` is the mutable working object held in switch state
+(R and E are incremented in place); :meth:`snapshot` produces the immutable
+tuples carried in LSAs and saved as ``old_R`` / ``C``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+Stamp = Tuple[int, ...]
+
+
+class VectorTimestamp:
+    """A mutable n-component event-count vector with the paper's partial order."""
+
+    __slots__ = ("_v",)
+
+    def __init__(self, n_or_values: int | Iterable[int]) -> None:
+        if isinstance(n_or_values, int):
+            if n_or_values < 1:
+                raise ValueError("timestamp needs at least one component")
+            self._v = [0] * n_or_values
+        else:
+            self._v = [int(x) for x in n_or_values]
+            if not self._v:
+                raise ValueError("timestamp needs at least one component")
+        if any(x < 0 for x in self._v):
+            raise ValueError("timestamp components must be natural numbers")
+
+    # -- element access ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._v)
+
+    def __getitem__(self, i: int) -> int:
+        return self._v[i]
+
+    def __setitem__(self, i: int, value: int) -> None:
+        if value < 0:
+            raise ValueError("timestamp components must be natural numbers")
+        self._v[i] = value
+
+    def increment(self, i: int, by: int = 1) -> None:
+        """``T[i] += by`` (the paper's ``R[x] = R[x] + 1``)."""
+        self._v[i] += by
+
+    # -- partial order ---------------------------------------------------------
+
+    @staticmethod
+    def _values(other: "VectorTimestamp | Sequence[int]") -> Sequence[int]:
+        return other._v if isinstance(other, VectorTimestamp) else other
+
+    def geq(self, other: "VectorTimestamp | Sequence[int]") -> bool:
+        """Component-wise ``self >= other``."""
+        ov = self._values(other)
+        if len(ov) != len(self._v):
+            raise ValueError("comparing timestamps of different lengths")
+        return all(a >= b for a, b in zip(self._v, ov))
+
+    def gt(self, other: "VectorTimestamp | Sequence[int]") -> bool:
+        """Strict order: ``self >= other`` and ``self != other``."""
+        ov = self._values(other)
+        return self.geq(ov) and list(ov) != self._v
+
+    def equals(self, other: "VectorTimestamp | Sequence[int]") -> bool:
+        return list(self._values(other)) == self._v
+
+    def concurrent_with(self, other: "VectorTimestamp | Sequence[int]") -> bool:
+        """Neither dominates: the timestamps are incomparable."""
+        ov = self._values(other)
+        return not self.geq(ov) and not VectorTimestamp(ov).geq(self._v)
+
+    # -- updates ---------------------------------------------------------------
+
+    def merge(self, other: "VectorTimestamp | Sequence[int]") -> bool:
+        """Component-wise max in place (``E[y] = max(E[y], T[y])``).
+
+        Returns True when any component changed.
+        """
+        ov = self._values(other)
+        if len(ov) != len(self._v):
+            raise ValueError("merging timestamps of different lengths")
+        changed = False
+        for i, val in enumerate(ov):
+            if val > self._v[i]:
+                self._v[i] = val
+                changed = True
+        return changed
+
+    def assign(self, other: "VectorTimestamp | Sequence[int]") -> None:
+        """Overwrite all components (``E = R``)."""
+        ov = self._values(other)
+        if len(ov) != len(self._v):
+            raise ValueError("assigning timestamps of different lengths")
+        self._v[:] = list(ov)
+
+    # -- conversion --------------------------------------------------------------
+
+    def snapshot(self) -> Stamp:
+        """Immutable copy, as carried in LSAs (``old_R = R``)."""
+        return tuple(self._v)
+
+    def copy(self) -> "VectorTimestamp":
+        return VectorTimestamp(self._v)
+
+    def total(self) -> int:
+        """Sum of components: total events covered (diagnostic)."""
+        return sum(self._v)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VectorTimestamp):
+            return self._v == other._v
+        if isinstance(other, (tuple, list)):
+            return self._v == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable; identity-free use
+        raise TypeError("VectorTimestamp is mutable; hash its snapshot() instead")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VectorTimestamp({self._v})"
+
+
+def stamp_geq(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Component-wise ``a >= b`` for immutable stamps."""
+    if len(a) != len(b):
+        raise ValueError("comparing stamps of different lengths")
+    return all(x >= y for x, y in zip(a, b))
+
+
+def stamp_gt(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Strict partial order on immutable stamps."""
+    return stamp_geq(a, b) and tuple(a) != tuple(b)
+
+
+def stamp_max(a: Sequence[int], b: Sequence[int]) -> Stamp:
+    """Component-wise max of two immutable stamps."""
+    if len(a) != len(b):
+        raise ValueError("merging stamps of different lengths")
+    return tuple(max(x, y) for x, y in zip(a, b))

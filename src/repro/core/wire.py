@@ -1,0 +1,189 @@
+"""Binary wire format for LSAs.
+
+Section 3.1 defines the MC LSA as the tuple ``(S, F, V, G, P, T)`` and the
+non-MC LSA as ``(S, F, D)``.  This module pins an actual octet encoding so
+the protocol could interoperate outside the simulator:
+
+MC LSA (``F = 1``)::
+
+    magic     u8   = 0xD6
+    version   u8   = 1
+    flags     u8   : bit0 F, bits1-3 V, bit4 has-proposal, bits5-6 role
+    source    u16  (S)
+    conn      u32  (G)
+    n         u16  timestamp length
+    stamp     u32 x n  (T)
+    proposal  (present iff bit4): see below (P)
+
+Proposal ``P`` -- "a complete topological description of the MC"::
+
+    tree_count u16
+    per tree:  key i32 (-1 = shared), root i32 (-1 = none),
+               member_count u16, members u32 x member_count,
+               edge_count u32, edges (u32, u32) x edge_count
+
+Non-MC LSA (``F = 0``)::
+
+    magic, version, flags (bit0 = 0)
+    source  u16 (S)
+    seqnum  u32
+    link_count u16                      } D: the RouterLsa description
+    per link: neighbor u16, delay f64, up u8
+
+All integers are big-endian (network byte order).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple, Union
+
+from repro.core.lsa import McEvent, McLsa
+from repro.core.mc import Role
+from repro.lsr.lsa import NonMcLsa, RouterLsa
+from repro.trees.base import McTopology, MulticastTree
+
+MAGIC = 0xD6
+VERSION = 1
+
+_EVENT_CODES = {
+    McEvent.JOIN: 1,
+    McEvent.LEAVE: 2,
+    McEvent.LINK: 3,
+    McEvent.NONE: 0,
+}
+_EVENT_BY_CODE = {v: k for k, v in _EVENT_CODES.items()}
+
+_ROLE_CODES = {None: 0, Role.SENDER: 1, Role.RECEIVER: 2, Role.BOTH: 3}
+_ROLE_BY_CODE = {v: k for k, v in _ROLE_CODES.items()}
+
+
+class WireError(ValueError):
+    """Raised on malformed wire data."""
+
+
+def _encode_tree(key: int, tree: MulticastTree) -> bytes:
+    members = sorted(tree.members)
+    edges = sorted(tree.edges)
+    parts = [
+        struct.pack(
+            "!iiH", key, -1 if tree.root is None else tree.root, len(members)
+        ),
+        struct.pack(f"!{len(members)}I", *members) if members else b"",
+        struct.pack("!I", len(edges)),
+    ]
+    for u, v in edges:
+        parts.append(struct.pack("!II", u, v))
+    return b"".join(parts)
+
+
+def _encode_proposal(proposal: McTopology) -> bytes:
+    parts = [struct.pack("!H", len(proposal.trees))]
+    for key, tree in proposal.trees:
+        parts.append(_encode_tree(key, tree))
+    return b"".join(parts)
+
+
+def encode_lsa(lsa: Union[McLsa, NonMcLsa]) -> bytes:
+    """Serialize an LSA to network-order bytes."""
+    if isinstance(lsa, McLsa):
+        flags = 0x01  # F = mc
+        flags |= _EVENT_CODES[lsa.event] << 1
+        if lsa.proposal is not None:
+            flags |= 0x10
+        flags |= _ROLE_CODES[lsa.role] << 5
+        parts = [
+            struct.pack(
+                "!BBBHIH",
+                MAGIC,
+                VERSION,
+                flags,
+                lsa.source,
+                lsa.connection_id,
+                len(lsa.timestamp),
+            ),
+            struct.pack(f"!{len(lsa.timestamp)}I", *lsa.timestamp)
+            if lsa.timestamp
+            else b"",
+        ]
+        if lsa.proposal is not None:
+            parts.append(_encode_proposal(lsa.proposal))
+        return b"".join(parts)
+    if isinstance(lsa, NonMcLsa):
+        desc = lsa.description
+        parts = [
+            struct.pack(
+                "!BBBHIH", MAGIC, VERSION, 0x00, lsa.source, desc.seqnum,
+                len(desc.links),
+            )
+        ]
+        for neighbor, delay, up in desc.links:
+            parts.append(struct.pack("!HdB", neighbor, delay, 1 if up else 0))
+        return b"".join(parts)
+    raise TypeError(f"cannot encode {lsa!r}")
+
+
+class _Reader:
+    """Cursor over a byte buffer with checked struct reads."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, fmt: str) -> tuple:
+        size = struct.calcsize(fmt)
+        if self.offset + size > len(self.data):
+            raise WireError("truncated LSA")
+        values = struct.unpack_from(fmt, self.data, self.offset)
+        self.offset += size
+        return values
+
+    def done(self) -> bool:
+        return self.offset == len(self.data)
+
+
+def _decode_tree(reader: _Reader) -> Tuple[int, MulticastTree]:
+    key, root, member_count = reader.take("!iiH")
+    members = reader.take(f"!{member_count}I") if member_count else ()
+    (edge_count,) = reader.take("!I")
+    edges = []
+    for _ in range(edge_count):
+        edges.append(reader.take("!II"))
+    tree = MulticastTree.build(
+        edges, members, root=None if root < 0 else root
+    )
+    return key, tree
+
+
+def decode_lsa(data: bytes) -> Union[McLsa, NonMcLsa]:
+    """Parse bytes back into an LSA; raises :class:`WireError` on garbage."""
+    reader = _Reader(data)
+    magic, version, flags = reader.take("!BBB")
+    if magic != MAGIC:
+        raise WireError(f"bad magic 0x{magic:02x}")
+    if version != VERSION:
+        raise WireError(f"unsupported version {version}")
+    if flags & 0x01:  # MC LSA
+        source, connection_id, n = reader.take("!HIH")[0:3]
+        stamp = reader.take(f"!{n}I") if n else ()
+        event = _EVENT_BY_CODE.get((flags >> 1) & 0x07)
+        if event is None:
+            raise WireError("bad event code")
+        role = _ROLE_BY_CODE.get((flags >> 5) & 0x03)
+        proposal: Optional[McTopology] = None
+        if flags & 0x10:
+            (tree_count,) = reader.take("!H")
+            trees = tuple(_decode_tree(reader) for _ in range(tree_count))
+            proposal = McTopology(trees)
+        if not reader.done():
+            raise WireError("trailing bytes after MC LSA")
+        return McLsa(source, event, connection_id, proposal, tuple(stamp), role)
+    # non-MC LSA
+    source, seqnum, link_count = reader.take("!HIH")
+    links = []
+    for _ in range(link_count):
+        neighbor, delay, up = reader.take("!HdB")
+        links.append((neighbor, delay, bool(up)))
+    if not reader.done():
+        raise WireError("trailing bytes after non-MC LSA")
+    return NonMcLsa(source, RouterLsa(source, seqnum, tuple(links)))

@@ -1,0 +1,25 @@
+"""Multicast data plane: forwarding packets over installed MC topologies.
+
+The paper defines an MC as "a virtual topology [...] which allows the
+participants to communicate with one another"; this package makes that
+communication concrete.  Packets are forwarded hop-by-hop, and every
+switch forwards according to *its own* installed topology ("routing
+entries for incident links"), so the data plane observes exactly what the
+control plane provides -- including transient disagreement windows while
+D-GMC reconverges after events.
+
+Delivery semantics per MC type (Section 1):
+
+* **symmetric** -- any member injects; the packet spreads over the shared
+  tree from its ingress.
+* **receiver-only** -- two-stage delivery: "the packet is delivered to any
+  node on the MC [the contact node]; this contact node forwards the
+  packet to the other MC members".  Non-member senders unicast toward the
+  nearest on-tree switch first.
+* **asymmetric** -- a sender forwards along its own source-rooted tree.
+"""
+
+from repro.dataplane.packet import DeliveryRecord, McPacket
+from repro.dataplane.forwarding import DeliveryReport, ForwardingEngine
+
+__all__ = ["McPacket", "DeliveryRecord", "ForwardingEngine", "DeliveryReport"]

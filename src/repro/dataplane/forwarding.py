@@ -1,0 +1,222 @@
+"""Hop-by-hop multicast forwarding over installed MC topologies.
+
+Every forwarding decision consults the *local* switch's state -- its
+installed topology, its member list, its unicast routing table -- exactly
+as the protocol installs them ("Update routing entries for incident links
+in m").  During reconvergence neighboring switches can hold different
+topologies; packets then see drops or duplicates, which the
+:class:`DeliveryReport` quantifies (the data-plane cost of control-plane
+churn).
+
+Loop safety: per-packet duplicate suppression at each switch plus a hop
+TTL bound every packet's work even under pathological disagreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.mc import ConnectionType
+from repro.core.protocol import DgmcNetwork
+from repro.dataplane.packet import DeliveryRecord, McPacket
+from repro.lsr import spf
+from repro.trees.algorithms import RECEIVER
+from repro.trees.base import SHARED
+
+
+@dataclass
+class DeliveryReport:
+    """Aggregate statistics over a set of delivery records."""
+
+    records: List[DeliveryRecord] = field(default_factory=list)
+
+    def add(self, record: DeliveryRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def packets(self) -> int:
+        return len(self.records)
+
+    @property
+    def complete_deliveries(self) -> int:
+        return sum(1 for r in self.records if r.complete and not r.undeliverable)
+
+    @property
+    def mean_delivery_ratio(self) -> float:
+        if not self.records:
+            return 1.0
+        return sum(r.delivery_ratio for r in self.records) / len(self.records)
+
+    @property
+    def total_hops(self) -> int:
+        return sum(r.hops for r in self.records)
+
+    @property
+    def total_duplicates(self) -> int:
+        return sum(r.duplicates for r in self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DeliveryReport(packets={self.packets}, "
+            f"complete={self.complete_deliveries}, "
+            f"ratio={self.mean_delivery_ratio:.3f})"
+        )
+
+
+class ForwardingEngine:
+    """Forwards multicast packets through a running D-GMC deployment."""
+
+    def __init__(self, dgmc: DgmcNetwork, hop_delay: Optional[float] = None) -> None:
+        self.dgmc = dgmc
+        #: Data-packet per-hop delay; defaults to the physical link delay.
+        self.hop_delay = hop_delay
+        self.report = DeliveryReport()
+        self._seen: Dict[int, Set[int]] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def send(self, packet: McPacket, at: float) -> DeliveryRecord:
+        """Schedule a packet injection; returns its (live) delivery record."""
+        record = DeliveryRecord(packet)
+        self.report.add(record)
+        self.dgmc.sim.schedule_at(at, lambda: self._inject(packet, record))
+        return record
+
+    # -- injection ---------------------------------------------------------------
+
+    def _inject(self, packet: McPacket, record: DeliveryRecord) -> None:
+        packet.sent_at = self.dgmc.sim.now
+        source_switch = self.dgmc.switches.get(packet.source)
+        state = source_switch.states.get(packet.connection_id) if source_switch else None
+        if state is None or state.installed is None:
+            record.undeliverable = True
+            return
+        record.intended = self._intended_receivers(state)
+        self._seen[packet.packet_id] = set()
+        ttl = 4 * self.dgmc.net.n
+        if self._on_tree(packet.source, packet):
+            self._tree_arrive(packet.source, None, packet, record, ttl)
+        else:
+            # Receiver-only two-stage delivery: unicast toward the nearest
+            # member (the contact node), then spread over the tree.
+            contact = self._nearest_member(packet.source, state)
+            if contact is None:
+                record.undeliverable = True
+                return
+            self._unicast_arrive(packet.source, contact, packet, record, ttl)
+
+    def _intended_receivers(self, state) -> frozenset:
+        if state.spec.ctype is ConnectionType.ASYMMETRIC:
+            return frozenset(
+                x for x, roles in state.members.items() if RECEIVER in roles
+            )
+        return frozenset(state.members)
+
+    def _nearest_member(self, source: int, state) -> Optional[int]:
+        members = sorted(state.members)
+        if not members:
+            return None
+        image = self.dgmc.routers[source].network_image()
+        dist, _ = spf.dijkstra(image, source)
+        reachable = [(dist[m], m) for m in members if m in dist]
+        if not reachable:
+            return None
+        return min(reachable)[1]
+
+    # -- per-hop mechanics ----------------------------------------------------------
+
+    def _local_tree_edges(self, switch: int, packet: McPacket) -> List[tuple]:
+        """Tree edges incident to ``switch`` in *its own* installed view."""
+        state = self.dgmc.switches[switch].states.get(packet.connection_id)
+        if state is None or state.installed is None:
+            return []
+        trees = state.installed.tree_map()
+        if state.spec.ctype is ConnectionType.ASYMMETRIC:
+            tree = trees.get(packet.source)
+        else:
+            tree = trees.get(SHARED)
+        if tree is None:
+            return []
+        return [e for e in sorted(tree.edges) if switch in e]
+
+    def _on_tree(self, switch: int, packet: McPacket) -> bool:
+        state = self.dgmc.switches[switch].states.get(packet.connection_id)
+        if state is None:
+            return False
+        if switch in state.members:
+            return True
+        return bool(self._local_tree_edges(switch, packet))
+
+    def _hop_cost(self, u: int, v: int) -> float:
+        if self.hop_delay is not None:
+            return self.hop_delay
+        return self.dgmc.net.link(u, v).delay
+
+    def _deliver_local(self, switch: int, packet: McPacket, record: DeliveryRecord) -> None:
+        state = self.dgmc.switches[switch].states.get(packet.connection_id)
+        if state is None:
+            return
+        roles = state.members.get(switch)
+        if roles is None:
+            return
+        if state.spec.ctype is ConnectionType.ASYMMETRIC and RECEIVER not in roles:
+            return
+        record.delivered.setdefault(switch, self.dgmc.sim.now)
+
+    def _tree_arrive(
+        self,
+        switch: int,
+        came_from: Optional[int],
+        packet: McPacket,
+        record: DeliveryRecord,
+        ttl: int,
+    ) -> None:
+        seen = self._seen[packet.packet_id]
+        if switch in seen:
+            record.duplicates += 1
+            return
+        seen.add(switch)
+        self._deliver_local(switch, packet, record)
+        if ttl <= 0:
+            return
+        for edge in self._local_tree_edges(switch, packet):
+            neighbor = edge[0] if edge[1] == switch else edge[1]
+            if neighbor == came_from:
+                continue
+            if not self.dgmc.net.has_link(switch, neighbor):
+                continue
+            if not self.dgmc.net.link(switch, neighbor).up:
+                continue  # data-plane drop on a dead link
+            record.hops += 1
+            self.dgmc.sim.schedule(
+                self._hop_cost(switch, neighbor),
+                lambda n=neighbor, s=switch: self._tree_arrive(
+                    n, s, packet, record, ttl - 1
+                ),
+            )
+
+    def _unicast_arrive(
+        self,
+        switch: int,
+        contact: int,
+        packet: McPacket,
+        record: DeliveryRecord,
+        ttl: int,
+    ) -> None:
+        """Stage 1 of receiver-only delivery: ride unicast toward the contact."""
+        if self._on_tree(switch, packet):
+            self._tree_arrive(switch, None, packet, record, ttl)
+            return
+        if ttl <= 0:
+            return
+        next_hop = self.dgmc.routers[switch].next_hop(contact)
+        if next_hop is None or not self.dgmc.net.link(switch, next_hop).up:
+            return  # unroutable right now: dropped
+        record.hops += 1
+        self.dgmc.sim.schedule(
+            self._hop_cost(switch, next_hop),
+            lambda n=next_hop: self._unicast_arrive(
+                n, contact, packet, record, ttl - 1
+            ),
+        )

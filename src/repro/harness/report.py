@@ -1,0 +1,57 @@
+"""Plain-text rendering of sweep results (the paper's figure panels)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.harness.sweeps import SweepRow
+
+
+def _fmt(agg) -> str:
+    return f"{agg.mean:7.3f} +-{agg.halfwidth:6.3f}"
+
+
+def render_rows(
+    rows: Sequence[SweepRow],
+    title: str,
+    include_convergence: bool = True,
+) -> str:
+    """Render a sweep as the three panels of a paper figure.
+
+    Columns: network size, proposals (topology computations) per event,
+    floodings per event, and -- for bursty workloads -- convergence time in
+    rounds.  Matches the series plotted in Figures 6-8.
+    """
+    lines = [title, "=" * len(title)]
+    header = f"{'n':>5} | {'proposals/event':>17} | {'floodings/event':>17}"
+    if include_convergence:
+        header += f" | {'convergence (rounds)':>21}"
+    header += " | agreed"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        line = (
+            f"{row.size:>5} | {_fmt(row.computations_per_event):>17} "
+            f"| {_fmt(row.floodings_per_event):>17}"
+        )
+        if include_convergence:
+            line += f" | {_fmt(row.convergence_rounds):>21}"
+        line += f" | {'yes' if row.all_agreed else 'NO'}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_comparison(rows, title: str) -> str:
+    """Render a baseline-comparison table (computations per event)."""
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'n':>5} | {'D-GMC':>17} | {'MOSPF':>17} | {'brute-force':>17}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.size:>5} | {_fmt(row.dgmc):>17} | {_fmt(row.mospf):>17} "
+            f"| {_fmt(row.brute_force):>17}"
+        )
+    return "\n".join(lines)

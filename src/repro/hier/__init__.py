@@ -1,0 +1,34 @@
+"""Hierarchical D-GMC: the paper's named future-work extension.
+
+Section 2: "LSR itself is generally intended for use in a set of networks
+under one administrative authority [...] Scalability can be addressed by
+introducing a routing hierarchy into large networks.  The combination of
+an LSR protocol and routing hierarchy is under consideration for the ATM
+PNNI standard.  In this paper, we present the 'basic' D-GMC protocol; its
+extension to hierarchical networks is part of our ongoing work."
+
+The paper gives no design for the extension, so this package supplies a
+natural two-level one (documented here, marked as our construction):
+
+* the network is partitioned into **areas**; links are intra-area or
+  inter-area, and switches with inter-area links are **border switches**;
+* each area runs a private D-GMC instance -- membership LSAs flood only
+  inside the area (the scalability win);
+* a **backbone** D-GMC instance runs among border switches over the
+  inter-area links plus virtual intra-area border-to-border links
+  (PNNI-style area abstraction);
+* per MC and area, the smallest border switch acts as the **area leader**:
+  while its area has members it joins both the area MC (as a proxy
+  member, grafting the intra-area tree to itself) and the backbone MC
+  (stitching the areas together).
+
+An MC's global topology is then the union of the per-area trees and the
+backbone tree with virtual links expanded to intra-area paths;
+:meth:`~repro.hier.protocol.HierDgmcNetwork.global_edges` materializes it
+and the tests verify it spans every member.
+"""
+
+from repro.hier.partition import AreaPlan, bfs_partition
+from repro.hier.protocol import HierDgmcNetwork
+
+__all__ = ["AreaPlan", "bfs_partition", "HierDgmcNetwork"]

@@ -1,0 +1,207 @@
+"""Area partitioning and the two-level network views.
+
+:class:`AreaPlan` digests a flat :class:`~repro.topo.graph.Network` plus a
+switch-to-area assignment into everything the hierarchical protocol
+needs: per-area subnetworks (with local switch ids), border switch sets,
+and the backbone network of border switches (physical inter-area links
+plus virtual intra-area border-to-border links whose delay is the
+intra-area shortest-path delay -- the PNNI-style abstraction of an area).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.lsr import spf
+from repro.topo.graph import Network
+
+
+class PartitionError(ValueError):
+    """Raised when an area assignment is unusable."""
+
+
+@dataclass
+class AreaView:
+    """One area's subnetwork and its id mappings."""
+
+    area_id: int
+    #: Area-local Network (switch ids 0..m-1).
+    net: Network
+    #: global switch id -> local id
+    to_local: Dict[int, int]
+    #: local id -> global switch id
+    to_global: Dict[int, int]
+    #: global ids of this area's border switches (sorted).
+    borders: List[int]
+
+    @property
+    def leader(self) -> int:
+        """The deterministic area leader: smallest border switch id."""
+        return self.borders[0]
+
+
+class AreaPlan:
+    """The complete two-level decomposition of a flat network."""
+
+    def __init__(self, net: Network, assignment: Mapping[int, int]) -> None:
+        if set(assignment) != set(net.switches()):
+            raise PartitionError("assignment must cover every switch exactly")
+        self.net = net
+        self.assignment = dict(assignment)
+        self.area_ids = sorted(set(assignment.values()))
+        if len(self.area_ids) < 2:
+            raise PartitionError("a hierarchy needs at least two areas")
+        self._inter_area_links = [
+            link
+            for link in net.links(include_down=True)
+            if assignment[link.u] != assignment[link.v]
+        ]
+        if not self._inter_area_links:
+            raise PartitionError("areas are mutually unreachable")
+        self.areas: Dict[int, AreaView] = {
+            a: self._build_area(a) for a in self.area_ids
+        }
+        for view in self.areas.values():
+            if not view.borders:
+                raise PartitionError(f"area {view.area_id} has no border switch")
+        (
+            self.backbone,
+            self.backbone_to_local,
+            self.backbone_to_global,
+            self._virtual_paths,
+        ) = self._build_backbone()
+
+    # -- areas ------------------------------------------------------------------
+
+    def _build_area(self, area_id: int) -> AreaView:
+        members = sorted(x for x, a in self.assignment.items() if a == area_id)
+        to_local = {g: i for i, g in enumerate(members)}
+        to_global = {i: g for g, i in to_local.items()}
+        sub = Network(len(members), name=f"area-{area_id}")
+        for link in self.net.links(include_down=True):
+            if (
+                self.assignment[link.u] == area_id
+                and self.assignment[link.v] == area_id
+            ):
+                new = sub.add_link(
+                    to_local[link.u],
+                    to_local[link.v],
+                    delay=link.delay,
+                    capacity=link.capacity,
+                )
+                new.up = link.up
+        if not sub.is_connected():
+            raise PartitionError(f"area {area_id} is not internally connected")
+        borders = sorted(
+            x
+            for x in members
+            if any(
+                self.assignment[nbr] != area_id
+                for nbr in self.net.neighbors(x, include_down=True)
+            )
+        )
+        return AreaView(area_id, sub, to_local, to_global, borders)
+
+    def area_of(self, switch: int) -> int:
+        return self.assignment[switch]
+
+    def area(self, area_id: int) -> AreaView:
+        return self.areas[area_id]
+
+    # -- backbone -------------------------------------------------------------------
+
+    def _build_backbone(self):
+        borders = sorted(
+            b for view in self.areas.values() for b in view.borders
+        )
+        to_local = {g: i for i, g in enumerate(borders)}
+        to_global = {i: g for g, i in to_local.items()}
+        bb = Network(len(borders), name="backbone")
+        virtual_paths: Dict[Tuple[int, int], List[int]] = {}
+        # Physical inter-area links.
+        for link in self._inter_area_links:
+            bb.add_link(
+                to_local[link.u], to_local[link.v], delay=link.delay
+            ).up = link.up
+        # Virtual intra-area border-to-border links (area abstraction).
+        for view in self.areas.values():
+            adj = spf.network_adjacency(view.net)
+            for i, a in enumerate(view.borders):
+                dist, _ = spf.dijkstra(adj, view.to_local[a])
+                for b in view.borders[i + 1 :]:
+                    lb = view.to_local[b]
+                    if lb not in dist:
+                        continue
+                    if bb.has_link(to_local[a], to_local[b]):
+                        continue
+                    bb.add_link(to_local[a], to_local[b], delay=max(dist[lb], 1e-9))
+                    path = spf.shortest_path(adj, view.to_local[a], lb)
+                    virtual_paths[(min(a, b), max(a, b))] = [
+                        view.to_global[x] for x in path
+                    ]
+        if not bb.is_connected():
+            raise PartitionError("backbone is not connected")
+        return bb, to_local, to_global, virtual_paths
+
+    def expand_backbone_edge(self, u_local: int, v_local: int) -> List[Tuple[int, int]]:
+        """Physical (global-id) edges realizing one backbone edge."""
+        gu = self.backbone_to_global[u_local]
+        gv = self.backbone_to_global[v_local]
+        key = (min(gu, gv), max(gu, gv))
+        if key in self._virtual_paths:
+            path = self._virtual_paths[key]
+            return [
+                (min(path[i], path[i + 1]), max(path[i], path[i + 1]))
+                for i in range(len(path) - 1)
+            ]
+        return [key]  # a physical inter-area link
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AreaPlan(areas={len(self.area_ids)}, "
+            f"borders={self.backbone.n}, n={self.net.n})"
+        )
+
+
+def bfs_partition(net: Network, areas: int, rng) -> Dict[int, int]:
+    """Grow ``areas`` balanced, connected areas by parallel BFS.
+
+    Seeds are random distinct switches; frontiers expand one switch at a
+    time in round-robin, so areas end up contiguous and roughly equal.
+    """
+    if areas < 2 or areas > net.n:
+        raise PartitionError("need 2 <= areas <= n")
+    seeds = rng.sample(range(net.n), areas)
+    assignment: Dict[int, int] = {}
+    frontiers: List[deque] = []
+    for a, seed in enumerate(seeds):
+        assignment[seed] = a
+        frontiers.append(deque([seed]))
+    remaining = net.n - areas
+    while remaining > 0:
+        progressed = False
+        for a in range(areas):
+            frontier = frontiers[a]
+            while frontier:
+                x = frontier[0]
+                unclaimed = [
+                    y for y in net.neighbors(x) if y not in assignment
+                ]
+                if not unclaimed:
+                    frontier.popleft()
+                    continue
+                y = unclaimed[0]
+                assignment[y] = a
+                frontier.append(y)
+                remaining -= 1
+                progressed = True
+                break
+        if not progressed:
+            # isolated leftovers (shouldn't happen on connected nets)
+            for x in net.switches():
+                if x not in assignment:
+                    assignment[x] = 0
+                    remaining -= 1
+    return assignment

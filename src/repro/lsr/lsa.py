@@ -1,0 +1,54 @@
+"""Unicast (non-MC) link-state advertisement formats.
+
+The paper's non-MC LSA is the tuple ``(S, F, D)`` where ``S`` is the source
+switch, ``F = ~mc`` marks it as a unicast LSA, and ``D`` "encodes a
+description of the event" in a format "defined by the underlying unicast
+LSR protocol".  Here ``D`` is a :class:`RouterLsa`: the advertising
+switch's current incident-link list, with an OSPF-style sequence number so
+stale advertisements are recognized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class RouterLsa:
+    """A switch's advertisement of its own incident links.
+
+    ``links`` maps neighbor id to ``(delay, up)``.  ``seqnum`` increases
+    monotonically per origin; a database replaces an entry only with a
+    strictly newer one.
+    """
+
+    origin: int
+    seqnum: int
+    links: Tuple[Tuple[int, float, bool], ...]  # (neighbor, delay, up)
+
+    def link_map(self) -> Dict[int, Tuple[float, bool]]:
+        """``{neighbor: (delay, up)}`` view of :attr:`links`."""
+        return {nbr: (delay, up) for nbr, delay, up in self.links}
+
+    def is_newer_than(self, other: "RouterLsa") -> bool:
+        if other.origin != self.origin:
+            raise ValueError("comparing LSAs from different origins")
+        return self.seqnum > other.seqnum
+
+
+@dataclass(frozen=True)
+class NonMcLsa:
+    """The paper's non-MC LSA tuple ``(S, F=~mc, D)``.
+
+    ``F`` is implicit in the Python type; ``description`` is the
+    :class:`RouterLsa` payload.
+    """
+
+    source: int
+    description: RouterLsa
+
+    @property
+    def is_mc(self) -> bool:
+        """The F flag: always False for non-MC LSAs."""
+        return False

@@ -1,0 +1,68 @@
+"""Per-switch link-state database and the derived network image.
+
+Every switch stores the newest :class:`~repro.lsr.lsa.RouterLsa` from each
+origin.  The *network image* -- the complete local picture of the network
+that LSR gives every switch, and that D-GMC topology computations run on --
+is derived from the database with OSPF's two-way check: a link is part of
+the image only when **both** endpoints currently advertise it as up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.lsr.lsa import RouterLsa
+
+
+class LinkStateDatabase:
+    """Newest-LSA-per-origin store with a cached adjacency image."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._entries: Dict[int, RouterLsa] = {}
+        self._image: Optional[Dict[int, Dict[int, float]]] = None
+        #: Count of accepted (newer) installs, for diagnostics.
+        self.installs = 0
+
+    def install(self, lsa: RouterLsa) -> bool:
+        """Install ``lsa`` if it is newer than the stored one; return whether."""
+        current = self._entries.get(lsa.origin)
+        if current is not None and not lsa.is_newer_than(current):
+            return False
+        self._entries[lsa.origin] = lsa
+        self._image = None
+        self.installs += 1
+        return True
+
+    def get(self, origin: int) -> Optional[RouterLsa]:
+        return self._entries.get(origin)
+
+    def complete(self) -> bool:
+        """True when the database holds an LSA from every switch."""
+        return len(self._entries) == self.n
+
+    def adjacency(self) -> Dict[int, Dict[int, float]]:
+        """The network image as ``{node: {neighbor: delay}}``.
+
+        A link appears iff both endpoints advertise it up; the delay is the
+        mean of the two advertised values (they normally agree).
+        """
+        if self._image is not None:
+            return self._image
+        adj: Dict[int, Dict[int, float]] = {x: {} for x in range(self.n)}
+        for origin, lsa in self._entries.items():
+            for nbr, delay, up in lsa.links:
+                if not up:
+                    continue
+                peer = self._entries.get(nbr)
+                if peer is None:
+                    continue
+                back = peer.link_map().get(origin)
+                if back is None or not back[1]:
+                    continue
+                adj[origin][nbr] = (delay + back[0]) / 2.0
+        self._image = adj
+        return adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LinkStateDatabase(n={self.n}, origins={len(self._entries)})"

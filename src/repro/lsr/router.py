@@ -1,0 +1,130 @@
+"""The unicast router entity at each switch.
+
+One :class:`UnicastRouter` runs per switch.  It originates router LSAs
+describing its incident links (at startup and whenever an incident link
+changes state), floods them as non-MC LSAs, installs received LSAs into its
+link-state database, and keeps an OSPF-style next-hop routing table.
+
+The D-GMC switch composes with this entity: the unicast layer discovers
+"much of the network status information needed by the MC protocol" (link
+delays, reachability), and its network image is what MC topology
+computations run on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.lsr.flooding import FloodingFabric
+from repro.lsr.lsa import NonMcLsa, RouterLsa
+from repro.lsr.lsdb import LinkStateDatabase
+from repro.lsr import spf
+from repro.topo.graph import Network
+
+
+class UnicastRouter:
+    """Per-switch unicast LSR state machine."""
+
+    def __init__(
+        self,
+        switch_id: int,
+        net: Network,
+        fabric: FloodingFabric,
+        on_image_change: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.switch_id = switch_id
+        self.net = net
+        self.fabric = fabric
+        self.lsdb = LinkStateDatabase(net.n)
+        self._seqnum = 0
+        self._routing_table: Optional[Dict[int, int]] = None
+        #: Hook invoked whenever the network image changes (used by D-GMC
+        #: to notice link/nodal events learned via the unicast layer).
+        self.on_image_change = on_image_change
+
+    # -- origination ---------------------------------------------------------
+
+    def _build_own_lsa(self) -> RouterLsa:
+        links = tuple(
+            (link.other(self.switch_id), link.delay, link.up)
+            for link in sorted(
+                (
+                    self.net.link(self.switch_id, nbr)
+                    for nbr in self.net.neighbors(self.switch_id, include_down=True)
+                ),
+                key=lambda l: l.key,
+            )
+        )
+        self._seqnum += 1
+        return RouterLsa(self.switch_id, self._seqnum, links)
+
+    def originate(self, flood: bool = True) -> RouterLsa:
+        """Build, self-install, and (optionally) flood this switch's LSA."""
+        lsa = self._build_own_lsa()
+        self.lsdb.install(lsa)
+        self._routing_table = None
+        if flood:
+            self.fabric.flood(self.switch_id, NonMcLsa(self.switch_id, lsa), kind="non-mc")
+        return lsa
+
+    def notify_incident_link_event(self) -> RouterLsa:
+        """React to a local link up/down: re-originate and flood.
+
+        This is the "exactly one non-MC LSA" per link event of Figure 2.
+        """
+        lsa = self.originate(flood=True)
+        if self.on_image_change is not None:
+            self.on_image_change()
+        return lsa
+
+    # -- reception -------------------------------------------------------------
+
+    def receive(self, lsa: NonMcLsa) -> bool:
+        """Install a flooded non-MC LSA; returns True if it was news."""
+        changed = self.lsdb.install(lsa.description)
+        if changed:
+            self._routing_table = None
+            if self.on_image_change is not None:
+                self.on_image_change()
+        return changed
+
+    # -- derived state -----------------------------------------------------------
+
+    def network_image(self) -> Dict[int, Dict[int, float]]:
+        """The complete local image of the network (adjacency with delays)."""
+        return self.lsdb.adjacency()
+
+    def routing_table(self) -> Dict[int, int]:
+        """Next-hop table from this switch (computed lazily, cached)."""
+        if self._routing_table is None:
+            self._routing_table = spf.routing_table(self.network_image(), self.switch_id)
+        return self._routing_table
+
+    def next_hop(self, dest: int) -> Optional[int]:
+        return self.routing_table().get(dest)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"UnicastRouter(switch={self.switch_id})"
+
+
+def bring_up_unicast(
+    net: Network,
+    fabric: FloodingFabric,
+    deliver_via_fabric: bool = False,
+) -> Dict[int, UnicastRouter]:
+    """Create one router per switch with fully synchronized databases.
+
+    For experiments that start from a converged unicast layer (the paper's
+    setting: membership events arrive on a stable network), the routers'
+    databases are populated directly rather than simulating the initial
+    flood storm.  Set ``deliver_via_fabric`` to instead flood the initial
+    LSAs through the fabric (requires hooks registered by the caller).
+    """
+    routers = {x: UnicastRouter(x, net, fabric) for x in net.switches()}
+    lsas = {x: routers[x].originate(flood=deliver_via_fabric) for x in net.switches()}
+    if not deliver_via_fabric:
+        for x, router in routers.items():
+            for origin, lsa in lsas.items():
+                if origin != x:
+                    router.lsdb.install(lsa)
+    return routers

@@ -1,0 +1,88 @@
+"""Shortest-path-first computations over an adjacency view.
+
+All functions take an *adjacency mapping* ``{node: {neighbor: weight}}``
+(what :meth:`repro.lsr.lsdb.LinkStateDatabase.adjacency` and
+:meth:`repro.topo.graph.Network` views produce), keeping the algorithms
+independent of the concrete graph container.  Ties are broken by node id so
+every switch computing on the same image derives the *same* tree -- a
+property both OSPF and the D-GMC protocol rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Mapping, Optional
+
+
+Adjacency = Mapping[int, Mapping[int, float]]
+
+
+def network_adjacency(net, include_down: bool = False) -> Dict[int, Dict[int, float]]:
+    """Build an adjacency mapping (delays as weights) from a Network."""
+    adj: Dict[int, Dict[int, float]] = {x: {} for x in net.switches()}
+    for link in net.links(include_down=include_down):
+        adj[link.u][link.v] = link.delay
+        adj[link.v][link.u] = link.delay
+    return adj
+
+
+def dijkstra(
+    adj: Adjacency, source: int
+) -> tuple[Dict[int, float], Dict[int, Optional[int]]]:
+    """Single-source shortest paths.
+
+    Returns ``(dist, parent)``; unreachable nodes appear in neither map.
+    ``parent[source] is None``.  Equal-cost paths are resolved toward the
+    lower parent id, deterministically.
+    """
+    dist: Dict[int, float] = {}
+    parent: Dict[int, Optional[int]] = {}
+    # Heap entries: (distance, tie-break parent id, node, parent).
+    heap: list[tuple[float, int, int, Optional[int]]] = [(0.0, -1, source, None)]
+    while heap:
+        d, _, node, via = heapq.heappop(heap)
+        if node in dist:
+            continue
+        dist[node] = d
+        parent[node] = via
+        for nbr, w in adj.get(node, {}).items():
+            if nbr not in dist:
+                heapq.heappush(heap, (d + w, node, nbr, node))
+    return dist, parent
+
+
+def shortest_path(adj: Adjacency, source: int, target: int) -> Optional[list[int]]:
+    """Node list of the shortest path, or ``None`` if unreachable."""
+    dist, parent = dijkstra(adj, source)
+    if target not in dist:
+        return None
+    path = [target]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])  # type: ignore[arg-type]
+    path.reverse()
+    return path
+
+
+def path_edges(path: list[int]) -> list[tuple[int, int]]:
+    """Canonical (sorted-endpoint) edge list of a node path."""
+    return [tuple(sorted((path[i], path[i + 1]))) for i in range(len(path) - 1)]
+
+
+def routing_table(adj: Adjacency, source: int) -> Dict[int, int]:
+    """OSPF-style next-hop table: destination -> first hop from ``source``."""
+    dist, parent = dijkstra(adj, source)
+    table: Dict[int, int] = {}
+    for dest in dist:
+        if dest == source:
+            continue
+        hop = dest
+        while parent[hop] != source:
+            hop = parent[hop]  # type: ignore[assignment]
+        table[dest] = hop
+    return table
+
+
+def eccentricity(adj: Adjacency, node: int) -> float:
+    """Largest shortest-path distance from ``node`` to any reachable node."""
+    dist, _ = dijkstra(adj, node)
+    return max(dist.values()) if dist else 0.0

@@ -1,0 +1,29 @@
+"""Performance metrics of the simulation study (Section 4.1).
+
+"We are interested in the following performance metrics: topology
+computations per event, flooding operations per event, and convergence
+time.  The first metric reveals the computational overhead incurred by an
+MC protocol, the second measures the communication overhead, and the third
+represents the protocol's responsiveness to member changes."
+
+* :mod:`repro.metrics.collector` -- per-trial raw counters,
+* :mod:`repro.metrics.stats` -- mean and 95% confidence intervals across
+  trials (the paper reports "mean values [...] along their 95% confidence
+  intervals"),
+* :mod:`repro.metrics.convergence` -- convergence time in *rounds*
+  (round = Tf + Tc).
+"""
+
+from repro.metrics.collector import TrialMetrics
+from repro.metrics.stats import Aggregate, aggregate
+from repro.metrics.convergence import convergence_rounds
+from repro.metrics.load import LoadDistribution, load_distribution
+
+__all__ = [
+    "TrialMetrics",
+    "Aggregate",
+    "aggregate",
+    "convergence_rounds",
+    "LoadDistribution",
+    "load_distribution",
+]

@@ -1,0 +1,50 @@
+"""Per-trial metric records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class TrialMetrics:
+    """Raw counters from one simulation trial (one graph, one schedule).
+
+    The "per event" ratios use the paper's denominator: the number of
+    injected MC events (membership changes, plus one per affected
+    connection for link events).
+    """
+
+    events: int
+    computations: int
+    floodings: int
+    #: Simulated time of the first injected event.
+    first_event_time: float = 0.0
+    #: Simulated time the last switch installed its final topology.
+    last_install_time: float = 0.0
+    #: Round length (Tf + Tc) used to normalize convergence.
+    round_length: float = 1.0
+    #: Whether all switches agreed after quiescence.
+    agreed: bool = True
+    #: Free-form protocol label ("dgmc", "mospf", "brute-force", ...).
+    protocol: str = "dgmc"
+
+    @property
+    def computations_per_event(self) -> float:
+        return self.computations / self.events if self.events else 0.0
+
+    @property
+    def floodings_per_event(self) -> float:
+        return self.floodings / self.events if self.events else 0.0
+
+    @property
+    def convergence_time(self) -> float:
+        """Wall (simulated) time from first event to final install."""
+        return max(0.0, self.last_install_time - self.first_event_time)
+
+    @property
+    def convergence_rounds(self) -> float:
+        """Convergence time normalized to rounds (Tf + Tc)."""
+        if self.round_length <= 0:
+            return 0.0
+        return self.convergence_time / self.round_length

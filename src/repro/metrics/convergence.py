@@ -1,0 +1,32 @@
+"""Convergence time, measured in rounds.
+
+"We define the time Tf + Tc to be a round" (Section 4.1); convergence time
+is "the protocol's responsiveness to member changes": how long after the
+first event of a burst until the last switch has installed the final,
+globally agreed topology.
+
+"The convergence times are not presented [for sparse workloads] because
+our definition of convergence time does not apply to sparse events, which
+seldom conflict with each other" -- :func:`convergence_rounds` therefore
+takes the burst boundaries explicitly and is only meaningful for bursty
+schedules.
+"""
+
+from __future__ import annotations
+
+
+def convergence_rounds(
+    first_event_time: float,
+    last_install_time: float,
+    flooding_diameter: float,
+    compute_time: float,
+) -> float:
+    """Convergence time in rounds (round = Tf + Tc).
+
+    Returns 0.0 when the installs all precede the burst (no reaction was
+    needed -- e.g. a burst of events that cancel out).
+    """
+    round_length = flooding_diameter + compute_time
+    if round_length <= 0:
+        raise ValueError("round length must be positive")
+    return max(0.0, last_install_time - first_event_time) / round_length

@@ -1,0 +1,59 @@
+"""Cross-trial aggregation: means with 95% confidence intervals.
+
+"In each set of simulations, 10 graphs were generated randomly for each
+network size.  The mean values are presented along their 95% confidence
+intervals."  (Section 4.2; graph count OCR-reconstructed.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.metrics.collector import TrialMetrics
+from repro.sim.monitor import Table
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean +- 95% CI half-width over a set of trials."""
+
+    mean: float
+    halfwidth: float
+    count: int
+    minimum: float
+    maximum: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.halfwidth
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.halfwidth
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} +- {self.halfwidth:.3f} (n={self.count})"
+
+
+def aggregate(values: Iterable[float]) -> Aggregate:
+    """Mean and 95% CI of a sample (Student-t for small n)."""
+    table = Table()
+    for v in values:
+        table.record(v)
+    if table.count == 0:
+        return Aggregate(0.0, 0.0, 0, 0.0, 0.0)
+    return Aggregate(
+        table.mean,
+        table.confidence_halfwidth(),
+        table.count,
+        table.minimum,
+        table.maximum,
+    )
+
+
+def aggregate_metric(
+    trials: Sequence[TrialMetrics], metric: Callable[[TrialMetrics], float]
+) -> Aggregate:
+    """Aggregate one derived metric over a set of trials."""
+    return aggregate(metric(t) for t in trials)

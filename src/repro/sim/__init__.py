@@ -1,0 +1,65 @@
+"""Process-oriented discrete-event simulation kernel.
+
+This package is a from-scratch Python replacement for the CSIM simulation
+package used by the paper (Schwetman, "CSIM: A C-based, process-oriented
+simulation language").  It provides the same modelling vocabulary:
+
+* :class:`~repro.sim.kernel.Simulator` -- the event loop and simulated clock,
+* :class:`~repro.sim.process.Process` -- generator-based coroutine processes,
+* :class:`~repro.sim.mailbox.Mailbox` -- inter-process message queues,
+* :class:`~repro.sim.resource.Facility` -- server resources with queueing,
+* :class:`~repro.sim.monitor.Table` / :class:`~repro.sim.monitor.Meter` --
+  statistics collection,
+* :class:`~repro.sim.rng.RngRegistry` -- named, independently seeded random
+  streams for reproducible experiments.
+
+Processes are plain Python generators that ``yield`` command objects
+(:class:`~repro.sim.process.Hold`, :class:`~repro.sim.process.Receive`,
+:class:`~repro.sim.process.WaitEvent`, ...) back to the kernel::
+
+    sim = Simulator()
+    box = Mailbox(sim, "requests")
+
+    def server():
+        while True:
+            msg = yield Receive(box)
+            yield Hold(1.5)        # service time
+            print(sim.now, msg)
+
+    sim.spawn(server(), name="server")
+    box.send("hello")
+    sim.run(until=10.0)
+"""
+
+from repro.sim.kernel import Simulator, SimulationError, SimEvent
+from repro.sim.process import (
+    Hold,
+    Passivate,
+    Process,
+    ProcessState,
+    Receive,
+    WaitEvent,
+)
+from repro.sim.mailbox import Mailbox, MailboxClosed
+from repro.sim.resource import Facility, Request
+from repro.sim.monitor import Meter, Table
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "SimEvent",
+    "Process",
+    "ProcessState",
+    "Hold",
+    "Receive",
+    "WaitEvent",
+    "Passivate",
+    "Mailbox",
+    "MailboxClosed",
+    "Facility",
+    "Request",
+    "Table",
+    "Meter",
+    "RngRegistry",
+]

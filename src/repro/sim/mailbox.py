@@ -1,0 +1,111 @@
+"""Inter-process mailboxes (CSIM-style message queues).
+
+A :class:`Mailbox` is an unbounded FIFO of messages.  Processes receive
+with ``yield Receive(box)``; senders never block.  The D-GMC switch model
+uses one mailbox per (switch, purpose): arriving LSAs are deposited by the
+flooding layer, and the switch's ``ReceiveLSA()`` entity drains them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.sim.kernel import SimulationError
+from repro.sim.process import Process, ProcessState, Receive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class MailboxClosed(SimulationError):
+    """Raised when sending to a closed mailbox."""
+
+
+class Mailbox:
+    """Unbounded FIFO message queue with blocking receivers.
+
+    Multiple processes may block in :class:`~repro.sim.process.Receive` on
+    the same mailbox; messages are handed out in receiver-arrival order.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._queue: deque[Any] = deque()
+        self._receivers: deque[tuple[Process, Any]] = deque()
+        self._closed = False
+        #: Total messages ever sent (diagnostic).
+        self.sent_count = 0
+        #: Total messages ever delivered to a receiver (diagnostic).
+        self.delivered_count = 0
+
+    # -- sender side -------------------------------------------------------
+
+    def send(self, message: Any) -> None:
+        """Deposit a message; wakes the oldest blocked receiver, if any."""
+        if self._closed:
+            raise MailboxClosed(f"mailbox {self.name!r} is closed")
+        self.sent_count += 1
+        while self._receivers:
+            proc, timeout_entry = self._receivers.popleft()
+            if proc.state is not ProcessState.WAITING:
+                continue  # receiver timed out or was interrupted
+            if timeout_entry is not None:
+                timeout_entry.cancel()
+            self.delivered_count += 1
+            self.sim.schedule(0.0, lambda p=proc, m=message: p._step(m))
+            return
+        self._queue.append(message)
+
+    def close(self) -> None:
+        """Refuse further sends (already-queued messages remain receivable)."""
+        self._closed = True
+
+    # -- receiver side -----------------------------------------------------
+
+    def _register_receiver(self, proc: Process, timeout: Optional[float]) -> None:
+        """Called by :class:`Receive.apply`; hand over a queued message or park."""
+        if self._queue:
+            message = self._queue.popleft()
+            self.delivered_count += 1
+            self.sim.schedule(0.0, lambda: proc._step(message))
+            return
+        timeout_entry = None
+        if timeout is not None:
+            timeout_entry = self.sim.schedule(
+                timeout, lambda: self._timeout_receiver(proc)
+            )
+        self._receivers.append((proc, timeout_entry))
+
+    def _timeout_receiver(self, proc: Process) -> None:
+        if proc.state is ProcessState.WAITING:
+            proc._step(Receive.TIMED_OUT)
+
+    def try_receive(self) -> tuple[bool, Any]:
+        """Non-blocking receive: ``(True, message)`` or ``(False, None)``."""
+        if self._queue:
+            self.delivered_count += 1
+            return True, self._queue.popleft()
+        return False, None
+
+    def peek_all(self) -> list[Any]:
+        """Snapshot of queued messages without consuming them."""
+        return list(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        """A mailbox object is always truthy, even when empty."""
+        return True
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Mailbox({self.name!r}, queued={len(self._queue)}, "
+            f"receivers={len(self._receivers)})"
+        )

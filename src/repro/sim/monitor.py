@@ -1,0 +1,140 @@
+"""Statistics collection: CSIM-style tables and meters.
+
+* :class:`Table` records individual observations (e.g. convergence times)
+  and reports count/mean/variance/min/max and 95% confidence intervals.
+* :class:`Meter` counts occurrences over simulated time (e.g. floodings)
+  and reports rates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+# Two-sided 97.5% Student-t quantiles for small sample sizes; the fallback
+# 1.96 is the normal quantile used for n > 30.
+_T_975 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+def t_quantile_975(dof: int) -> float:
+    """Two-sided 95% Student-t critical value for ``dof`` degrees of freedom."""
+    if dof <= 0:
+        return float("inf")
+    return _T_975.get(dof, 1.96)
+
+
+class Table:
+    """Streaming collection of scalar observations (Welford's algorithm)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def confidence_halfwidth(self, level: float = 0.95) -> float:
+        """Half-width of the confidence interval around the mean.
+
+        Only the paper's 95% level is supported; other levels raise.
+        """
+        if abs(level - 0.95) > 1e-9:
+            raise ValueError("only the 95% level is supported")
+        if self.count < 2:
+            return 0.0
+        return t_quantile_975(self.count - 1) * self.stdev / math.sqrt(self.count)
+
+    def confidence_interval(self, level: float = 0.95) -> tuple[float, float]:
+        """(low, high) bounds of the confidence interval around the mean."""
+        hw = self.confidence_halfwidth(level)
+        return self.mean - hw, self.mean + hw
+
+    def merge(self, other: "Table") -> None:
+        """Fold another table's observations into this one (Chan's method)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if not self.count:
+            return f"Table({self.name!r}, empty)"
+        return (
+            f"Table({self.name!r}, n={self.count}, mean={self.mean:.4g}, "
+            f"sd={self.stdev:.4g})"
+        )
+
+
+class Meter:
+    """Counts discrete occurrences against simulated time."""
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.count = 0
+        self.start_time = sim.now
+
+    def tick(self, n: int = 1) -> None:
+        """Record ``n`` occurrences at the current simulated time."""
+        self.count += n
+
+    def rate(self) -> float:
+        """Occurrences per unit simulated time since creation/reset."""
+        elapsed = self.sim.now - self.start_time
+        if elapsed <= 0:
+            return 0.0
+        return self.count / elapsed
+
+    def reset(self) -> None:
+        self.count = 0
+        self.start_time = self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Meter({self.name!r}, count={self.count})"

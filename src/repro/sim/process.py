@@ -1,0 +1,212 @@
+"""Generator-based simulation processes and their yieldable commands.
+
+A process body is a plain generator.  Each ``yield`` hands a *command*
+object to the kernel; the kernel resumes the generator (possibly sending a
+value back) when the command completes:
+
+* ``yield Hold(dt)`` -- advance simulated time by ``dt``,
+* ``msg = yield Receive(mailbox)`` -- block until a message is available,
+* ``val = yield WaitEvent(ev)`` -- block until ``ev`` fires,
+* ``yield Passivate()`` -- sleep until another process calls
+  :meth:`Process.activate`.
+
+Yielding another generator runs it as a subroutine (call stack semantics),
+so protocol code can be decomposed into helper generators.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterator, Optional, TYPE_CHECKING
+
+from repro.sim.kernel import SimEvent, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+    from repro.sim.mailbox import Mailbox
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a simulation process."""
+
+    READY = "ready"
+    RUNNING = "running"
+    HOLDING = "holding"
+    WAITING = "waiting"
+    PASSIVE = "passive"
+    TERMINATED = "terminated"
+
+
+class Command:
+    """Base class for objects a process may yield to the kernel."""
+
+    def apply(self, proc: "Process") -> None:
+        raise NotImplementedError
+
+
+class Hold(Command):
+    """Suspend the process for ``delay`` simulated time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"Hold delay must be >= 0, got {delay}")
+        self.delay = delay
+
+    def apply(self, proc: "Process") -> None:
+        proc.state = ProcessState.HOLDING
+        proc._pending = proc.sim.schedule(self.delay, proc._step_none)
+
+
+class Receive(Command):
+    """Block until a message arrives in ``mailbox``; resumes with the message.
+
+    An optional ``timeout`` resumes the process with ``Receive.TIMED_OUT``
+    if nothing arrives in time.
+    """
+
+    TIMED_OUT = object()
+
+    __slots__ = ("mailbox", "timeout")
+
+    def __init__(self, mailbox: "Mailbox", timeout: Optional[float] = None) -> None:
+        self.mailbox = mailbox
+        self.timeout = timeout
+
+    def apply(self, proc: "Process") -> None:
+        proc.state = ProcessState.WAITING
+        self.mailbox._register_receiver(proc, self.timeout)
+
+
+class WaitEvent(Command):
+    """Block until a :class:`~repro.sim.kernel.SimEvent` fires."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: SimEvent) -> None:
+        self.event = event
+
+    def apply(self, proc: "Process") -> None:
+        proc.state = ProcessState.WAITING
+        self.event.add_waiter(proc._step)
+
+
+class Passivate(Command):
+    """Sleep until another process calls :meth:`Process.activate`."""
+
+    def apply(self, proc: "Process") -> None:
+        proc.state = ProcessState.PASSIVE
+
+
+class Process:
+    """Kernel-side wrapper that drives a generator as a simulation process."""
+
+    _counter = 0
+
+    def __init__(
+        self, sim: "Simulator", generator: Iterator[Any], name: Optional[str] = None
+    ) -> None:
+        Process._counter += 1
+        self.sim = sim
+        self.name = name or f"process-{Process._counter}"
+        self.state = ProcessState.READY
+        self._stack: list[Iterator[Any]] = [generator]
+        self._pending = None  # scheduled kernel event, for cancellation
+        self._result: Any = None
+        #: Event fired (with the return value) when the process terminates.
+        self.done = sim.event(f"{self.name}.done")
+
+    # -- kernel-facing stepping ------------------------------------------
+
+    def _step_none(self) -> None:
+        self._step(None)
+
+    def _step(self, value: Any) -> None:
+        """Resume the generator, feeding ``value`` into the pending yield."""
+        self._advance("send", value)
+
+    def _advance(self, mode: str, value: Any) -> None:
+        """Drive the generator stack with a send or a throw.
+
+        Exceptions raised by a subroutine propagate into its caller
+        generator, mirroring ordinary Python call semantics.
+        """
+        if self.state is ProcessState.TERMINATED:
+            return
+        self._pending = None
+        self.state = ProcessState.RUNNING
+        while True:
+            gen = self._stack[-1]
+            try:
+                if mode == "send":
+                    yielded = gen.send(value)
+                else:
+                    yielded = gen.throw(value)
+            except StopIteration as stop:
+                self._stack.pop()
+                if not self._stack:
+                    self._terminate(stop.value)
+                    return
+                mode, value = "send", stop.value  # return value to the caller
+                continue
+            except BaseException as exc:
+                self._stack.pop()
+                if not self._stack:
+                    self._terminate(None)
+                    raise
+                mode, value = "throw", exc  # propagate into the caller
+                continue
+            mode = "send"
+            if isinstance(yielded, Command):
+                yielded.apply(self)
+                return
+            if hasattr(yielded, "send") and hasattr(yielded, "throw"):
+                # Subroutine call: push the generator and run it first.
+                self._stack.append(yielded)
+                value = None
+                continue
+            raise SimulationError(
+                f"{self.name} yielded unsupported object {yielded!r}; "
+                "yield a Command or a generator"
+            )
+
+    def _terminate(self, result: Any) -> None:
+        self.state = ProcessState.TERMINATED
+        self._result = result
+        self.done.fire(result)
+
+    # -- public control ----------------------------------------------------
+
+    @property
+    def result(self) -> Any:
+        """Return value of the process body (valid once terminated)."""
+        return self._result
+
+    @property
+    def terminated(self) -> bool:
+        return self.state is ProcessState.TERMINATED
+
+    def activate(self, value: Any = None) -> None:
+        """Wake a passivated process (no-op otherwise is an error)."""
+        if self.state is not ProcessState.PASSIVE:
+            raise SimulationError(
+                f"activate() on {self.name} in state {self.state.value}"
+            )
+        self.state = ProcessState.READY
+        self.sim.schedule(0.0, lambda: self._step(value))
+
+    def interrupt(self, exc: Optional[BaseException] = None) -> None:
+        """Cancel whatever the process waits on and throw into it.
+
+        The process may catch the exception and continue (including
+        yielding further commands), or let it propagate and terminate.
+        """
+        if self.state is ProcessState.TERMINATED:
+            return
+        if self._pending is not None:
+            self._pending.cancel()
+        self._advance("throw", exc or SimulationError(f"{self.name} interrupted"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Process({self.name!r}, {self.state.value})"

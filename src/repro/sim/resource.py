@@ -1,0 +1,110 @@
+"""Facilities: CSIM-style server resources with FIFO queueing.
+
+A :class:`Facility` models a server (e.g. a switch CPU performing topology
+computations).  Processes acquire it with ``yield facility.request()`` and
+must release it when done.  Utilization statistics are collected so
+experiments can report switch load.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, TYPE_CHECKING
+
+from repro.sim.kernel import SimulationError
+from repro.sim.process import Command, Process, ProcessState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Request(Command):
+    """Yieldable command that acquires one server of a facility."""
+
+    __slots__ = ("facility",)
+
+    def __init__(self, facility: "Facility") -> None:
+        self.facility = facility
+
+    def apply(self, proc: Process) -> None:
+        self.facility._acquire(proc)
+
+
+class Facility:
+    """A multi-server resource with a FIFO wait queue.
+
+    ``capacity`` servers may be held simultaneously.  Holders call
+    :meth:`release` exactly once; double-release raises.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError("facility capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Process] = deque()
+        # Utilization accounting.
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+        #: Total completed service grants (diagnostic).
+        self.completions = 0
+
+    def request(self) -> Request:
+        """Return the yieldable acquire command for this facility."""
+        return Request(self)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_integral += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def _acquire(self, proc: Process) -> None:
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            self.sim.schedule(0.0, proc._step_none)
+        else:
+            proc.state = ProcessState.WAITING
+            self._waiters.append(proc)
+
+    def release(self) -> None:
+        """Release one server; hands it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle facility {self.name!r}")
+        self.completions += 1
+        while self._waiters:
+            proc = self._waiters.popleft()
+            if proc.state is ProcessState.WAITING:
+                # Hand over the server without dropping occupancy.
+                self.sim.schedule(0.0, proc._step_none)
+                return
+        self._account()
+        self._in_use -= 1
+
+    @property
+    def busy(self) -> bool:
+        return self._in_use >= self.capacity
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def utilization(self) -> float:
+        """Time-averaged fraction of capacity in use since creation."""
+        self._account()
+        elapsed = self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Facility({self.name!r}, in_use={self._in_use}/{self.capacity}, "
+            f"queued={len(self._waiters)})"
+        )

@@ -1,0 +1,41 @@
+"""Named, independently seeded random streams.
+
+Experiments draw randomness for distinct purposes (topology generation,
+event timing, member selection, ...).  Giving each purpose its own stream,
+derived deterministically from a root seed, keeps results reproducible and
+makes variance-reduction comparisons fair: changing how many numbers one
+purpose consumes does not perturb the others.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(root_seed: int, label: str) -> int:
+    """Derive a 64-bit stream seed from a root seed and a purpose label."""
+    digest = hashlib.sha256(f"{root_seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Factory and cache of per-purpose :class:`random.Random` streams."""
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = root_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, label: str) -> random.Random:
+        """Return the stream for ``label``, creating it on first use."""
+        if label not in self._streams:
+            self._streams[label] = random.Random(derive_seed(self.root_seed, label))
+        return self._streams[label]
+
+    def fork(self, label: str) -> "RngRegistry":
+        """A child registry whose root seed is derived from this one."""
+        return RngRegistry(derive_seed(self.root_seed, f"fork:{label}"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RngRegistry(root_seed={self.root_seed}, streams={sorted(self._streams)})"

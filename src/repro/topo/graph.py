@@ -1,0 +1,250 @@
+"""The network model: switches, bidirectional links, and attached hosts.
+
+Switches are integers ``0..n-1`` (the paper's LSA source addresses are
+drawn from ``{0, 1, ..., n-1}``).  Links are undirected, carry a
+propagation ``delay`` and a ``capacity``, and may be administratively or
+operationally down -- link failures are the "link/nodal events" that the
+D-GMC protocol reacts to.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+import networkx as nx
+
+
+def _edge_key(u: int, v: int) -> Tuple[int, int]:
+    """Canonical undirected edge key."""
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass
+class Link:
+    """An undirected point-to-point link between two switches."""
+
+    u: int
+    v: int
+    delay: float = 1.0
+    capacity: float = 1.0
+    up: bool = True
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return _edge_key(self.u, self.v)
+
+    def other(self, node: int) -> int:
+        """The endpoint opposite ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ValueError(f"{node} is not an endpoint of link {self.key}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.up else "DOWN"
+        return f"Link({self.u}-{self.v}, delay={self.delay:.4g}, {state})"
+
+
+@dataclass
+class Host:
+    """A host attached to its ingress switch."""
+
+    host_id: str
+    ingress: int
+    #: Free-form attributes (e.g. application role).
+    attrs: dict = field(default_factory=dict)
+
+
+class Network:
+    """A switch-level network graph with link state and host attachments.
+
+    The class intentionally stores its own adjacency (rather than wrapping a
+    :class:`networkx.Graph` directly) so that link up/down transitions are a
+    single flag flip and so deterministic iteration order is guaranteed;
+    :meth:`to_networkx` exports a view for algorithms that want networkx.
+    """
+
+    def __init__(self, n: int, name: str = "") -> None:
+        if n < 1:
+            raise ValueError("network must contain at least one switch")
+        self.n = n
+        self.name = name
+        self._adj: Dict[int, Dict[int, Link]] = {x: {} for x in range(n)}
+        self._links: Dict[Tuple[int, int], Link] = {}
+        self._hosts: Dict[str, Host] = {}
+        #: Optional 2-D coordinates (used by Waxman generation and plotting).
+        self.positions: Dict[int, Tuple[float, float]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_link(
+        self, u: int, v: int, delay: float = 1.0, capacity: float = 1.0
+    ) -> Link:
+        """Add an undirected link; parallel links and self-loops are rejected."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise ValueError(f"self-loop at switch {u}")
+        key = _edge_key(u, v)
+        if key in self._links:
+            raise ValueError(f"duplicate link {key}")
+        if delay <= 0:
+            raise ValueError(f"link delay must be positive, got {delay}")
+        link = Link(u, v, delay=delay, capacity=capacity)
+        self._links[key] = link
+        self._adj[u][v] = link
+        self._adj[v][u] = link
+        return link
+
+    def attach_host(self, host_id: str, ingress: int, **attrs) -> Host:
+        """Attach a host to its ingress switch."""
+        self._check_node(ingress)
+        if host_id in self._hosts:
+            raise ValueError(f"duplicate host {host_id!r}")
+        host = Host(host_id, ingress, dict(attrs))
+        self._hosts[host_id] = host
+        return host
+
+    def _check_node(self, x: int) -> None:
+        if not (0 <= x < self.n):
+            raise ValueError(f"switch id {x} out of range [0, {self.n})")
+
+    # -- queries -----------------------------------------------------------
+
+    def switches(self) -> range:
+        return range(self.n)
+
+    def links(self, include_down: bool = False) -> Iterator[Link]:
+        """All links, sorted by key for determinism."""
+        for key in sorted(self._links):
+            link = self._links[key]
+            if include_down or link.up:
+                yield link
+
+    def link(self, u: int, v: int) -> Link:
+        """The link between ``u`` and ``v`` (KeyError if absent)."""
+        return self._links[_edge_key(u, v)]
+
+    def has_link(self, u: int, v: int) -> bool:
+        return _edge_key(u, v) in self._links
+
+    def neighbors(self, x: int, include_down: bool = False) -> list[int]:
+        """Neighbor switches of ``x`` over (by default) up links, sorted."""
+        return sorted(
+            y for y, link in self._adj[x].items() if include_down or link.up
+        )
+
+    def degree(self, x: int) -> int:
+        return len(self.neighbors(x))
+
+    def hosts(self) -> Iterable[Host]:
+        return self._hosts.values()
+
+    def host(self, host_id: str) -> Host:
+        return self._hosts[host_id]
+
+    def link_count(self, include_down: bool = False) -> int:
+        return sum(1 for _ in self.links(include_down=include_down))
+
+    # -- link state --------------------------------------------------------
+
+    def set_link_state(self, u: int, v: int, up: bool) -> Link:
+        """Mark a link up or down; returns the link."""
+        link = self.link(u, v)
+        link.up = up
+        return link
+
+    # -- graph algorithms ----------------------------------------------------
+
+    def hop_distances(self, source: int) -> Dict[int, int]:
+        """BFS hop counts from ``source`` over up links (unreachable omitted)."""
+        dist = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            x = frontier.popleft()
+            for y in self.neighbors(x):
+                if y not in dist:
+                    dist[y] = dist[x] + 1
+                    frontier.append(y)
+        return dist
+
+    def delay_distances(self, source: int) -> Dict[int, float]:
+        """Dijkstra cumulative-delay distances from ``source`` over up links."""
+        import heapq
+
+        dist: Dict[int, float] = {}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, x = heapq.heappop(heap)
+            if x in dist:
+                continue
+            dist[x] = d
+            for y in self.neighbors(x):
+                if y not in dist:
+                    heapq.heappush(heap, (d + self._adj[x][y].delay, y))
+        return dist
+
+    def is_connected(self) -> bool:
+        """True when every switch is reachable over up links."""
+        return len(self.hop_distances(0)) == self.n
+
+    def diameter_hops(self) -> int:
+        """Largest hop distance between any pair of switches (up links)."""
+        worst = 0
+        for x in self.switches():
+            dist = self.hop_distances(x)
+            if len(dist) < self.n:
+                return -1  # disconnected
+            worst = max(worst, max(dist.values()))
+        return worst
+
+    def flooding_diameter(self, per_hop_delay: Optional[float] = None) -> float:
+        """Worst-case time for a flood to reach all switches (paper's Tf).
+
+        With ``per_hop_delay`` given, the flood takes ``hops * per_hop_delay``
+        along the fastest hop path; otherwise actual link delays are summed.
+        """
+        worst = 0.0
+        for x in self.switches():
+            if per_hop_delay is not None:
+                dist = self.hop_distances(x)
+                if len(dist) < self.n:
+                    return math.inf
+                worst = max(worst, max(dist.values()) * per_hop_delay)
+            else:
+                dist = self.delay_distances(x)
+                if len(dist) < self.n:
+                    return math.inf
+                worst = max(worst, max(dist.values()))
+        return worst
+
+    # -- export / copy ---------------------------------------------------------
+
+    def to_networkx(self, include_down: bool = False) -> nx.Graph:
+        """Export to :class:`networkx.Graph` with ``delay`` edge weights."""
+        g = nx.Graph()
+        g.add_nodes_from(self.switches())
+        for link in self.links(include_down=include_down):
+            g.add_edge(link.u, link.v, delay=link.delay, capacity=link.capacity)
+        return g
+
+    def copy(self) -> "Network":
+        """Deep copy (hosts and link states included)."""
+        net = Network(self.n, name=self.name)
+        for link in self.links(include_down=True):
+            new = net.add_link(link.u, link.v, delay=link.delay, capacity=link.capacity)
+            new.up = link.up
+        for host in self.hosts():
+            net.attach_host(host.host_id, host.ingress, **host.attrs)
+        net.positions = dict(self.positions)
+        return net
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Network({self.name!r}, n={self.n}, "
+            f"links={self.link_count(include_down=True)})"
+        )

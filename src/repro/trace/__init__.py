@@ -1,0 +1,23 @@
+"""Observability: protocol timelines and convergence profiles.
+
+Debugging a distributed signaling protocol needs a merged, chronological
+view of what every switch did.  :func:`build_timeline` assembles one from
+a deployment's logs (computations, installs, floods);
+:func:`render_timeline` pretty-prints it; :func:`convergence_profile`
+reduces the install log to "when had k% of switches adopted the final
+topology" -- the per-burst responsiveness curve behind Figure 6(c).
+"""
+
+from repro.trace.timeline import (
+    TimelineEntry,
+    build_timeline,
+    convergence_profile,
+    render_timeline,
+)
+
+__all__ = [
+    "TimelineEntry",
+    "build_timeline",
+    "render_timeline",
+    "convergence_profile",
+]

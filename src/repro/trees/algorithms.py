@@ -1,0 +1,217 @@
+"""The pluggable topology-computation interface used by the D-GMC protocol.
+
+D-GMC is "independent of the particular algorithm used to compute the MC
+topology".  A :class:`TopologyAlgorithm` maps (network image, member list
+with roles, previously installed topology) to a new
+:class:`~repro.trees.base.McTopology`:
+
+* :class:`SharedTreeAlgorithm` -- one shared tree over the relevant member
+  set (symmetric and receiver-only MCs; Steiner heuristics, optionally
+  with incremental updates, or a core-based tree),
+* :class:`SourceTreesAlgorithm` -- one source-rooted shortest-path tree per
+  sender (asymmetric MCs, MOSPF-style).
+
+Determinism is required: all switches computing on the same image and
+member list must produce equal topologies (value equality of
+:class:`McTopology`), which every implementation here guarantees.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Optional
+
+from repro.trees.base import McTopology, MulticastTree, SHARED
+from repro.trees.cbt import core_based_tree, select_core
+from repro.trees.dynamic import GreedyDynamicSteiner
+from repro.trees.spt import source_rooted_tree
+from repro.trees.steiner import (
+    kmb_steiner_tree,
+    pruned_spt_steiner_tree,
+    takahashi_matsuyama_tree,
+)
+
+#: Membership roles.  A symmetric member holds both.
+SENDER = "sender"
+RECEIVER = "receiver"
+
+#: switch id -> set of roles
+MemberRoles = Mapping[int, frozenset]
+
+
+class TopologyAlgorithm(abc.ABC):
+    """Strategy interface for MC topology computation."""
+
+    @abc.abstractmethod
+    def compute(
+        self,
+        adj: Mapping[int, Mapping[int, float]],
+        members: MemberRoles,
+        previous: Optional[McTopology],
+    ) -> McTopology:
+        """Return the new MC topology.
+
+        ``adj`` is the switch's network image, ``members`` the member list
+        with roles, ``previous`` the currently installed topology (enables
+        incremental updates) or ``None``.
+        """
+
+
+def reachable_members(
+    adj: Mapping[int, Mapping[int, float]],
+    members: frozenset,
+    anchor: Optional[int] = None,
+) -> frozenset:
+    """Members in the same component as ``anchor`` (default: smallest member).
+
+    Network partitions are beyond the paper's protocol ("the ability of
+    the protocol to survive [...] network partitioning remains for further
+    study"), but topology computation must not fail when the local image
+    is partitioned: each partition deterministically serves the members it
+    can reach, anchored at the smallest member id present.
+    """
+    if not members:
+        return members
+    if anchor is None:
+        anchor = min(members)
+    seen = {anchor}
+    stack = [anchor]
+    while stack:
+        node = stack.pop()
+        for nbr in adj.get(node, ()):
+            if nbr not in seen:
+                seen.add(nbr)
+                stack.append(nbr)
+    return frozenset(m for m in members if m in seen)
+
+
+def dominant_members(
+    adj: Mapping[int, Mapping[int, float]], members: frozenset
+) -> frozenset:
+    """The largest member group that is mutually connected.
+
+    Shared trees use this instead of anchoring at ``min(members)``: when a
+    switch dies (a "nodal event") its ghost membership lingers, and an
+    anchor that happens to be the ghost would strand every live member.
+    Components are compared by member count, ties broken by smallest
+    member id, so all switches pick the same group.
+    """
+    remaining = set(members)
+    best: frozenset = frozenset()
+    while remaining:
+        anchor = min(remaining)
+        component = reachable_members(adj, frozenset(remaining), anchor=anchor)
+        component = component | {anchor}
+        if len(component) > len(best):
+            best = frozenset(component)
+        remaining -= component
+    return frozenset(m for m in best if m in members)
+
+
+def receivers_of(members: MemberRoles) -> frozenset:
+    return frozenset(x for x, roles in members.items() if RECEIVER in roles)
+
+
+def senders_of(members: MemberRoles) -> frozenset:
+    return frozenset(x for x, roles in members.items() if SENDER in roles)
+
+
+class SharedTreeAlgorithm(TopologyAlgorithm):
+    """One shared tree spanning every member switch.
+
+    ``method`` selects the heuristic: ``"greedy-incremental"`` (default;
+    Section 3.5's incremental update with rebuild policy), ``"pruned-spt"``,
+    ``"kmb"``, ``"tm"`` (Takahashi–Matsuyama), ``"cbt"`` (core-based tree
+    over the member set), or ``"delay-bounded"`` (QoS: every
+    anchor-to-member delay within ``delay_bound``; see
+    :mod:`repro.trees.constrained`).
+    """
+
+    def __init__(
+        self,
+        method: str = "greedy-incremental",
+        rebuild_threshold: float = 1.5,
+        core_strategy: str = "member-median",
+        delay_bound: Optional[float] = None,
+    ) -> None:
+        valid = (
+            "greedy-incremental",
+            "pruned-spt",
+            "kmb",
+            "tm",
+            "cbt",
+            "delay-bounded",
+        )
+        if method not in valid:
+            raise ValueError(f"method must be one of {valid}, got {method!r}")
+        if method == "delay-bounded" and delay_bound is None:
+            raise ValueError("delay-bounded method requires delay_bound")
+        self.method = method
+        self.core_strategy = core_strategy
+        self.delay_bound = delay_bound
+        self._dynamic = GreedyDynamicSteiner(rebuild_threshold=rebuild_threshold)
+
+    def compute(
+        self,
+        adj: Mapping[int, Mapping[int, float]],
+        members: MemberRoles,
+        previous: Optional[McTopology],
+    ) -> McTopology:
+        member_set = dominant_members(adj, frozenset(members))
+        if not member_set:
+            return McTopology.empty()
+        if self.method == "kmb":
+            tree = kmb_steiner_tree(adj, member_set)
+        elif self.method == "tm":
+            tree = takahashi_matsuyama_tree(adj, member_set)
+        elif self.method == "pruned-spt":
+            tree = pruned_spt_steiner_tree(adj, member_set)
+        elif self.method == "delay-bounded":
+            from repro.trees.constrained import delay_bounded_tree
+
+            tree = delay_bounded_tree(adj, member_set, self.delay_bound)
+        elif self.method == "cbt":
+            core = select_core(adj, member_set, strategy=self.core_strategy)
+            tree = core_based_tree(adj, member_set, core)
+        else:  # greedy-incremental
+            prev_tree = previous.shared_tree if previous is not None else None
+            tree = self._dynamic.update(adj, prev_tree, member_set)
+        return McTopology.shared(tree)
+
+
+class SourceTreesAlgorithm(TopologyAlgorithm):
+    """One source-rooted shortest-path tree per sender (asymmetric MCs)."""
+
+    def compute(
+        self,
+        adj: Mapping[int, Mapping[int, float]],
+        members: MemberRoles,
+        previous: Optional[McTopology],
+    ) -> McTopology:
+        receivers = receivers_of(members)
+        senders = senders_of(members)
+        if not senders or not receivers:
+            return McTopology.empty()
+        trees: dict[int, MulticastTree] = {}
+        for s in sorted(senders):
+            # Partition degradation: each sender serves the receivers it
+            # can currently reach (see reachable_members).
+            reachable = reachable_members(adj, receivers - {s}, anchor=s) - {s}
+            trees[s] = source_rooted_tree(adj, s, reachable)
+        return McTopology.per_source(trees)
+
+
+def make_algorithm(connection_type: str, **kwargs) -> TopologyAlgorithm:
+    """Factory keyed by MC type name.
+
+    ``"symmetric"`` and ``"receiver-only"`` yield a
+    :class:`SharedTreeAlgorithm`; ``"asymmetric"`` yields a
+    :class:`SourceTreesAlgorithm`.  Keyword arguments are forwarded.
+    """
+    if connection_type in ("symmetric", "receiver-only"):
+        return SharedTreeAlgorithm(**kwargs)
+    if connection_type == "asymmetric":
+        if kwargs:
+            raise ValueError("SourceTreesAlgorithm takes no options")
+        return SourceTreesAlgorithm()
+    raise ValueError(f"unknown connection type {connection_type!r}")

@@ -1,0 +1,160 @@
+"""Delay-constrained shared trees: the QoS side of D-GMC.
+
+Section 2 argues MOSPF's data-driven model fails "if quality of service
+(QoS) negotiation is needed prior to data transmission" -- an event-driven
+protocol like D-GMC can build QoS-constrained topologies *before* data
+flows.  This module supplies the constrained computation: a
+delay-bounded variant of the Takahashi–Matsuyama heuristic (CSPH-style):
+grow the tree member by member, always grafting along the cheapest path
+whose accumulated anchor-to-member delay respects the bound, falling back
+to the direct shortest path when the cheap graft would violate it.
+
+The result guarantees ``anchor-to-member delay <= bound`` for every member
+whenever the bound is feasible at all (the shortest-path delay itself is
+the feasibility limit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.lsr import spf
+from repro.trees.base import MulticastTree, TreeError, canonical_edge
+
+
+class DelayBoundViolation(TreeError):
+    """The bound is infeasible: below some member's shortest-path delay."""
+
+
+def tree_delays(
+    tree: MulticastTree,
+    adj: Mapping[int, Mapping[int, float]],
+    anchor: int,
+) -> Dict[int, float]:
+    """Accumulated delay from ``anchor`` to every tree node, along the tree."""
+    delays = {anchor: 0.0}
+    tree_adj = tree.adjacency()
+    stack = [anchor]
+    while stack:
+        node = stack.pop()
+        for nbr in tree_adj.get(node, ()):
+            if nbr not in delays:
+                delays[nbr] = delays[node] + adj[node][nbr]
+                stack.append(nbr)
+    return delays
+
+
+def delay_bounded_tree(
+    adj: Mapping[int, Mapping[int, float]],
+    terminals: Iterable[int],
+    bound: float,
+    anchor: Optional[int] = None,
+) -> MulticastTree:
+    """Shared tree with every anchor-to-terminal delay within ``bound``.
+
+    ``anchor`` defaults to ``min(terminals)`` (deterministic across
+    switches).  Raises :class:`DelayBoundViolation` when the bound is
+    below some terminal's shortest-path delay (no tree can satisfy it).
+    """
+    terms = frozenset(terminals)
+    if not terms:
+        return MulticastTree.empty()
+    if anchor is None:
+        anchor = min(terms)
+    if len(terms) == 1 and anchor in terms:
+        return MulticastTree.empty(terms)
+
+    anchor_dist, anchor_parent = spf.dijkstra(adj, anchor)
+    for t in terms:
+        if t not in anchor_dist:
+            raise TreeError(f"terminal {t} unreachable from anchor {anchor}")
+        if anchor_dist[t] > bound + 1e-12:
+            raise DelayBoundViolation(
+                f"terminal {t} needs delay {anchor_dist[t]:.4g} > bound {bound:.4g}"
+            )
+
+    tree = _greedy_bounded(adj, terms, bound, anchor, anchor_dist)
+    if tree is None:
+        # Greedy could not honor the bound; the pruned anchor SPT always
+        # can (every on-SPT delay equals the shortest-path delay, which
+        # the up-front check verified against the bound).
+        from repro.trees.spt import prune_to_receivers, source_rooted_tree
+
+        spt = source_rooted_tree(adj, anchor, terms - {anchor})
+        pruned = prune_to_receivers(spt, terms)
+        tree = MulticastTree(pruned.edges, terms, root=None)
+    delays = tree_delays(tree, adj, anchor)
+    for t in terms:
+        if delays.get(t, float("inf")) > bound + 1e-9:
+            raise DelayBoundViolation(
+                f"internal error: member {t} ended at delay {delays[t]:.4g}"
+            )
+    return tree
+
+
+def _greedy_bounded(
+    adj: Mapping[int, Mapping[int, float]],
+    terms: frozenset,
+    bound: float,
+    anchor: int,
+    anchor_dist: Dict[int, float],
+) -> Optional[MulticastTree]:
+    """Greedy cheapest-feasible grafts; None when any graft is infeasible."""
+    edges: set = set()
+    in_tree = {anchor}
+    node_delay: Dict[int, float] = {anchor: 0.0}
+    # Nearest-to-anchor first keeps early delays small.
+    remaining = sorted(terms - {anchor}, key=lambda t: (anchor_dist[t], t))
+
+    for t in remaining:
+        if t in in_tree:
+            continue
+        # Cheapest feasible attachment: from every tree node v, the path
+        # v -> t costs dist_t[v] and yields delay node_delay[v] + dist_t[v].
+        dist_t, parent_t = spf.dijkstra(adj, t)
+        best = None
+        for v in sorted(in_tree):
+            if v not in dist_t:
+                continue
+            total_delay = node_delay[v] + dist_t[v]
+            if total_delay <= bound + 1e-12:
+                key = (dist_t[v], total_delay, v)
+                if best is None or key < best[0]:
+                    best = (key, v)
+        if best is None:
+            return None
+        v = best[1]
+        path = list(reversed(_path_from_parents(parent_t, v)))  # v .. t
+        # The chosen v minimizes dist_t over *feasible* tree nodes, but an
+        # interior path node can still be an in-tree node that was
+        # infeasible as a graft point (its own tree delay too large);
+        # splicing through it would create a cycle.  Rare -- give up and
+        # let the caller fall back to the always-feasible pruned SPT.
+        if any(node in in_tree for node in path[1:]):
+            return None
+        for i in range(len(path) - 1):
+            a, b = path[i], path[i + 1]
+            edges.add(canonical_edge(a, b))
+            node_delay[b] = node_delay[a] + adj[a][b]
+            in_tree.add(b)
+        in_tree.add(t)
+    return MulticastTree.build(edges, terms)
+
+
+def _path_from_parents(parent: Dict[int, Optional[int]], target: int) -> list:
+    """Node path root..target from a Dijkstra parent map."""
+    path = [target]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])  # type: ignore[arg-type]
+    path.reverse()
+    return path
+
+
+def max_member_delay(
+    tree: MulticastTree,
+    adj: Mapping[int, Mapping[int, float]],
+    anchor: int,
+) -> float:
+    """Worst anchor-to-member delay along the tree (QoS admission check)."""
+    delays = tree_delays(tree, adj, anchor)
+    return max((delays.get(m, float("inf")) for m in tree.members), default=0.0)

@@ -1,0 +1,36 @@
+"""Workload generators for the simulation study.
+
+Section 4.1: "Two event-generating methods are used.  In the first, events
+are clustered in a short period of time and conflict with each other.
+Such very busy periods may be found at the beginning period of a
+multi-party conversation.  In the second event-generating method, events
+are relatively evenly distributed over long periods of time."
+
+* :mod:`repro.workloads.membership` -- bursty and sparse (Poisson)
+  join/leave event schedules,
+* :mod:`repro.workloads.traffic` -- datagram schedules for the MOSPF
+  baseline (data-driven computations need data),
+* :mod:`repro.workloads.scenario` -- bundling of a topology, a connection,
+  and an event schedule into one runnable scenario.
+"""
+
+from repro.workloads.membership import (
+    MembershipSchedule,
+    ScheduledEvent,
+    bursty_schedule,
+    sparse_schedule,
+)
+from repro.workloads.traffic import datagram_schedule_after_events
+from repro.workloads.scenario import Scenario
+from repro.workloads.failures import FailureInjector, FailureRecord
+
+__all__ = [
+    "ScheduledEvent",
+    "MembershipSchedule",
+    "bursty_schedule",
+    "sparse_schedule",
+    "datagram_schedule_after_events",
+    "Scenario",
+    "FailureInjector",
+    "FailureRecord",
+]

@@ -1,0 +1,144 @@
+"""Membership-event schedules: bursty clusters and sparse Poisson streams.
+
+A schedule is a list of :class:`ScheduledEvent` (time, switch, join/leave)
+for one connection, generated so it is always *feasible*: a switch joins
+only while absent and leaves only while present, and the schedule never
+empties the connection mid-run (the last member never leaves), so every
+event truly changes membership and the "per event" metrics are clean.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """One membership event in a workload schedule."""
+
+    time: float
+    switch: int
+    join: bool
+
+
+@dataclass
+class MembershipSchedule:
+    """An event schedule plus the initial member set it assumes."""
+
+    initial_members: frozenset
+    events: List[ScheduledEvent]
+
+    @property
+    def span(self) -> float:
+        """Time of the last event (0 for an empty schedule)."""
+        return self.events[-1].time if self.events else 0.0
+
+    def final_members(self) -> frozenset:
+        members = set(self.initial_members)
+        for ev in self.events:
+            if ev.join:
+                members.add(ev.switch)
+            else:
+                members.discard(ev.switch)
+        return frozenset(members)
+
+    def validate(self) -> None:
+        """Raise ValueError if the schedule is infeasible."""
+        members: Set[int] = set(self.initial_members)
+        last_time = 0.0
+        for ev in self.events:
+            if ev.time < last_time:
+                raise ValueError("events out of chronological order")
+            last_time = ev.time
+            if ev.join:
+                if ev.switch in members:
+                    raise ValueError(f"switch {ev.switch} joins twice")
+                members.add(ev.switch)
+            else:
+                if ev.switch not in members:
+                    raise ValueError(f"switch {ev.switch} leaves while absent")
+                if len(members) == 1:
+                    raise ValueError("schedule empties the connection")
+                members.remove(ev.switch)
+
+
+def _feasible_events(
+    n: int,
+    count: int,
+    times: List[float],
+    rng: random.Random,
+    initial_members: frozenset,
+    join_fraction: float,
+) -> List[ScheduledEvent]:
+    """Draw feasible join/leave events at the given (sorted) times."""
+    members: Set[int] = set(initial_members)
+    events: List[ScheduledEvent] = []
+    for t in times:
+        absent = [x for x in range(n) if x not in members]
+        can_leave = len(members) > 1
+        can_join = bool(absent)
+        if not can_join and not can_leave:
+            raise ValueError("no feasible event exists (network too small)")
+        if can_join and (not can_leave or rng.random() < join_fraction):
+            switch = rng.choice(absent)
+            members.add(switch)
+            events.append(ScheduledEvent(t, switch, True))
+        else:
+            switch = rng.choice(sorted(members))
+            members.remove(switch)
+            events.append(ScheduledEvent(t, switch, False))
+    return events
+
+
+def bursty_schedule(
+    n: int,
+    rng: random.Random,
+    count: int = 10,
+    window: float = 1.0,
+    start: float = 0.0,
+    initial_members: Optional[frozenset] = None,
+    join_fraction: float = 0.7,
+) -> MembershipSchedule:
+    """Events clustered uniformly inside ``[start, start + window]``.
+
+    "Such very busy periods may be found at the beginning period of a
+    multi-party conversation" -- so the default bias is toward joins.
+    ``window`` should be on the order of a round (Tf + Tc) or less for the
+    events to genuinely conflict.
+    """
+    if initial_members is None:
+        initial_members = frozenset([rng.randrange(n)])
+    times = sorted(start + rng.random() * window for _ in range(count))
+    events = _feasible_events(n, count, times, rng, initial_members, join_fraction)
+    schedule = MembershipSchedule(initial_members, events)
+    schedule.validate()
+    return schedule
+
+
+def sparse_schedule(
+    n: int,
+    rng: random.Random,
+    count: int = 20,
+    mean_gap: float = 50.0,
+    start: float = 0.0,
+    initial_members: Optional[frozenset] = None,
+    join_fraction: float = 0.5,
+) -> MembershipSchedule:
+    """Poisson event stream: exponential inter-arrival with ``mean_gap``.
+
+    ``mean_gap`` should be much larger than a round so "most of the events
+    are sufficiently separated that they are handled individually".
+    """
+    if initial_members is None:
+        initial_members = frozenset([rng.randrange(n)])
+    times = []
+    t = start
+    for _ in range(count):
+        t += rng.expovariate(1.0 / mean_gap)
+        times.append(t)
+    events = _feasible_events(n, count, times, rng, initial_members, join_fraction)
+    schedule = MembershipSchedule(initial_members, events)
+    schedule.validate()
+    return schedule

@@ -1,0 +1,133 @@
+"""Tests for the CBT baseline: grafting, pruning, control-message costs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cbt import CbtNetwork
+from repro.topo.generators import grid_network, ring_network, star_network, waxman_network
+
+
+def make(net=None, core=0):
+    cbt = CbtNetwork(net or grid_network(3, 3), per_hop_delay=0.05)
+    cbt.create_group(1, core=core)
+    return cbt
+
+
+class TestGroupManagement:
+    def test_duplicate_group_rejected(self):
+        cbt = make()
+        with pytest.raises(ValueError):
+            cbt.create_group(1, core=2)
+
+    def test_invalid_core_rejected(self):
+        cbt = CbtNetwork(ring_network(4))
+        with pytest.raises(ValueError):
+            cbt.create_group(1, core=9)
+
+    def test_core_starts_on_tree(self):
+        cbt = make(core=4)
+        assert cbt.state[1][4].on_tree
+
+
+class TestJoin:
+    def test_join_grafts_unicast_path(self):
+        cbt = make(net=grid_network(1, 4), core=0)
+        cbt.inject_join(3, 1, at=1.0)
+        cbt.run()
+        tree = cbt.tree(1)
+        assert tree.edges == frozenset({(0, 1), (1, 2), (2, 3)})
+        tree.validate({3, 0})
+
+    def test_join_at_core_needs_no_messages(self):
+        cbt = make(core=4)
+        cbt.inject_join(4, 1, at=1.0)
+        cbt.run()
+        assert cbt.control_messages == 0
+        assert cbt.members_of(1) == frozenset({4})
+
+    def test_second_join_grafts_at_first_on_tree_switch(self):
+        cbt = make(net=grid_network(1, 4), core=0)
+        cbt.inject_join(3, 1, at=1.0)
+        cbt.run()
+        msgs_before = cbt.control_messages
+        cbt.inject_join(2, 1, at=10.0)  # already on tree as a relay
+        cbt.run()
+        assert cbt.control_messages == msgs_before  # no new messages needed
+        assert cbt.members_of(1) == frozenset({2, 3})
+
+    def test_join_costs_path_length_messages(self):
+        cbt = make(net=grid_network(1, 5), core=0)
+        cbt.inject_join(4, 1, at=1.0)
+        cbt.run()
+        assert cbt.control_messages == 4  # one per hop toward the core
+
+    def test_concurrent_joins_converge(self, rng):
+        net = waxman_network(20, rng)
+        cbt = CbtNetwork(net, per_hop_delay=0.05)
+        cbt.create_group(1, core=0)
+        members = [3, 9, 15, 18]
+        for sw in members:
+            cbt.inject_join(sw, 1, at=1.0)
+        cbt.run()
+        tree = cbt.tree(1)
+        tree.validate(set(members) | {0})
+
+
+class TestLeave:
+    def test_leaf_leave_prunes_branch(self):
+        cbt = make(net=grid_network(1, 4), core=0)
+        cbt.inject_join(3, 1, at=1.0)
+        cbt.inject_leave(3, 1, at=10.0)
+        cbt.run()
+        assert cbt.tree(1).edges == frozenset()
+        assert cbt.members_of(1) == frozenset()
+
+    def test_relay_leave_keeps_branch(self):
+        cbt = make(net=grid_network(1, 4), core=0)
+        cbt.inject_join(2, 1, at=1.0)
+        cbt.inject_join(3, 1, at=5.0)
+        cbt.inject_leave(2, 1, at=10.0)
+        cbt.run()
+        # 2 still relays for 3
+        assert cbt.tree(1).edges == frozenset({(0, 1), (1, 2), (2, 3)})
+        assert cbt.members_of(1) == frozenset({3})
+
+    def test_prune_stops_at_member(self):
+        cbt = make(net=grid_network(1, 4), core=0)
+        cbt.inject_join(2, 1, at=1.0)
+        cbt.inject_join(3, 1, at=5.0)
+        cbt.inject_leave(3, 1, at=10.0)
+        cbt.run()
+        assert cbt.tree(1).edges == frozenset({(0, 1), (1, 2)})
+
+    def test_core_never_pruned(self):
+        cbt = make(core=4)
+        cbt.inject_join(4, 1, at=1.0)
+        cbt.inject_leave(4, 1, at=5.0)
+        cbt.run()
+        assert cbt.state[1][4].on_tree
+
+
+class TestCorePlacement:
+    def test_bad_core_gives_costlier_tree(self):
+        # members clustered around switch 0 of a star; hub core is ideal.
+        net = star_network(8)
+        good = CbtNetwork(net, per_hop_delay=0.05)
+        good.create_group(1, core=0)
+        bad = CbtNetwork(net, per_hop_delay=0.05)
+        bad.create_group(1, core=7)
+        for cbt in (good, bad):
+            for sw in (1, 2, 3):
+                cbt.inject_join(sw, 1, at=1.0)
+            cbt.run()
+        assert len(bad.tree(1).edges) > len(good.tree(1).edges)
+
+    def test_no_flooding_ever(self, rng):
+        net = waxman_network(15, rng)
+        cbt = CbtNetwork(net, per_hop_delay=0.05)
+        cbt.create_group(1, core=0)
+        for sw in (3, 7, 11):
+            cbt.inject_join(sw, 1, at=1.0)
+        cbt.run()
+        assert cbt.fabric.total_floods == 0

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_trace_runs_and_agrees(self, capsys):
+        assert main(["--seed", "3", "trace", "--switches", "10", "--members", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "agreement: True" in out
+        assert "convergence profile" in out
+        assert "flood" in out
+
+    def test_hierarchy_runs(self, capsys):
+        code = main(
+            ["--seed", "5", "hierarchy", "--areas", "3", "--area-size", "8",
+             "--members", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hierarchy scopes away" in out
+        assert "spans all members: True" in out
+
+    def test_compare_quick(self, capsys):
+        assert main(["compare", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "MOSPF" in out and "brute-force" in out
+
+    def test_figures_quick(self, capsys):
+        assert main(["figures", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out and "Figure 8" in out
+        assert " NO" not in out

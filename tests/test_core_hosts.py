@@ -1,0 +1,119 @@
+"""Tests for the host-facing service layer (hosts -> ingress switches)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DgmcNetwork, ProtocolConfig, Role
+from repro.core.hosts import HostService
+from repro.topo.generators import ring_network
+
+
+def deployment(ctype="symmetric"):
+    net = ring_network(6)
+    for host, ingress in [("alice", 0), ("bob", 0), ("carol", 2), ("dave", 4)]:
+        net.attach_host(host, ingress)
+    dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05))
+    if ctype == "symmetric":
+        dgmc.register_symmetric(1)
+    else:
+        dgmc.register_asymmetric(1)
+    return dgmc, HostService(dgmc)
+
+
+class TestJoin:
+    def test_first_host_joins_switch(self):
+        dgmc, svc = deployment()
+        svc.host_join("alice", 1, at=10.0)
+        dgmc.run()
+        assert dgmc.states_for(1)[1].member_set == frozenset({0})
+        assert svc.hosts_on(0, 1) == frozenset({"alice"})
+
+    def test_second_host_on_same_switch_is_silent(self):
+        dgmc, svc = deployment()
+        svc.host_join("alice", 1, at=10.0)
+        svc.host_join("bob", 1, at=50.0)
+        dgmc.run()
+        # one switch-level event only: bob's join changed nothing network-wide
+        assert dgmc.mc_event_count == 1
+        assert svc.hosts_on(0, 1) == frozenset({"alice", "bob"})
+
+    def test_hosts_on_different_switches_both_join(self):
+        dgmc, svc = deployment()
+        svc.host_join("alice", 1, at=10.0)
+        svc.host_join("carol", 1, at=50.0)
+        dgmc.run()
+        assert dgmc.states_for(1)[5].member_set == frozenset({0, 2})
+        assert dgmc.mc_event_count == 2
+
+    def test_unknown_host_rejected(self):
+        dgmc, svc = deployment()
+        with pytest.raises(KeyError):
+            svc.host_join("mallory", 1, at=10.0)
+
+    def test_unknown_connection_rejected(self):
+        dgmc, svc = deployment()
+        with pytest.raises(KeyError):
+            svc.host_join("alice", 99, at=10.0)
+
+    def test_connections_of_host(self):
+        dgmc, svc = deployment()
+        svc.host_join("alice", 1, at=10.0)
+        dgmc.run()
+        assert svc.connections_of("alice") == frozenset({1})
+        assert svc.connections_of("carol") == frozenset()
+
+
+class TestLeave:
+    def test_last_host_leave_removes_switch(self):
+        dgmc, svc = deployment()
+        svc.host_join("alice", 1, at=10.0)
+        svc.host_join("carol", 1, at=30.0)
+        svc.host_leave("alice", 1, at=100.0)
+        dgmc.run()
+        assert dgmc.states_for(1)[5].member_set == frozenset({2})
+
+    def test_remaining_host_keeps_switch_joined(self):
+        dgmc, svc = deployment()
+        svc.host_join("alice", 1, at=10.0)
+        svc.host_join("bob", 1, at=30.0)
+        svc.host_join("carol", 1, at=50.0)
+        svc.host_leave("alice", 1, at=100.0)
+        dgmc.run()
+        assert dgmc.states_for(1)[5].member_set == frozenset({0, 2})
+        assert dgmc.mc_event_count == 2  # alice's leave was host-local
+
+    def test_leave_without_join_is_ignored(self):
+        dgmc, svc = deployment()
+        svc.host_join("carol", 1, at=10.0)
+        svc.host_leave("alice", 1, at=50.0)
+        dgmc.run()
+        assert dgmc.states_for(1)[0].member_set == frozenset({2})
+
+
+class TestRoles:
+    def test_asymmetric_roles_union(self):
+        dgmc, svc = deployment(ctype="asymmetric")
+        svc.host_join("alice", 1, at=10.0, role=Role.RECEIVER)
+        svc.host_join("carol", 1, at=30.0, role=Role.SENDER)
+        dgmc.run()
+        state = dgmc.states_for(1)[4]
+        assert state.members[0] == frozenset({"receiver"})
+        assert state.members[2] == frozenset({"sender"})
+
+    def test_role_widening_readvertises(self):
+        dgmc, svc = deployment(ctype="asymmetric")
+        svc.host_join("alice", 1, at=10.0, role=Role.RECEIVER)
+        svc.host_join("carol", 1, at=20.0, role=Role.SENDER)  # makes trees exist
+        svc.host_join("bob", 1, at=50.0, role=Role.SENDER)  # widens switch 0
+        dgmc.run()
+        state = dgmc.states_for(1)[4]
+        assert state.members[0] == frozenset({"sender", "receiver"})
+        assert dgmc.mc_event_count == 3  # widening cost one extra event
+
+    def test_symmetric_default_role(self):
+        dgmc, svc = deployment()
+        svc.host_join("alice", 1, at=10.0)
+        dgmc.run()
+        state = dgmc.states_for(1)[3]
+        assert state.members[0] == frozenset({"sender", "receiver"})

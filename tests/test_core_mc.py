@@ -1,0 +1,67 @@
+"""Tests for connection types, roles, and specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mc import ConnectionSpec, ConnectionType, Role, default_role
+from repro.trees.algorithms import (
+    RECEIVER,
+    SENDER,
+    SharedTreeAlgorithm,
+    SourceTreesAlgorithm,
+)
+
+
+class TestRole:
+    def test_both_expands(self):
+        assert Role.BOTH.as_role_set() == frozenset({SENDER, RECEIVER})
+
+    def test_single_roles(self):
+        assert Role.SENDER.as_role_set() == frozenset({SENDER})
+        assert Role.RECEIVER.as_role_set() == frozenset({RECEIVER})
+
+
+class TestDefaultRole:
+    def test_symmetric_is_both(self):
+        assert default_role(ConnectionType.SYMMETRIC) is Role.BOTH
+
+    def test_receiver_only_is_receiver(self):
+        assert default_role(ConnectionType.RECEIVER_ONLY) is Role.RECEIVER
+
+    def test_asymmetric_has_no_default(self):
+        with pytest.raises(ValueError):
+            default_role(ConnectionType.ASYMMETRIC)
+
+
+class TestConnectionSpec:
+    def test_default_algorithms(self):
+        sym = ConnectionSpec(1, ConnectionType.SYMMETRIC)
+        assert isinstance(sym.make_algorithm(), SharedTreeAlgorithm)
+        asym = ConnectionSpec(2, ConnectionType.ASYMMETRIC)
+        assert isinstance(asym.make_algorithm(), SourceTreesAlgorithm)
+
+    def test_named_algorithm(self):
+        spec = ConnectionSpec(1, ConnectionType.SYMMETRIC, algorithm="kmb")
+        algo = spec.make_algorithm()
+        assert isinstance(algo, SharedTreeAlgorithm)
+        assert algo.method == "kmb"
+
+    def test_algorithm_options(self):
+        spec = ConnectionSpec(
+            1,
+            ConnectionType.RECEIVER_ONLY,
+            algorithm="cbt",
+            algorithm_options=(("core_strategy", "member-center"),),
+        )
+        algo = spec.make_algorithm()
+        assert algo.method == "cbt"
+        assert algo.core_strategy == "member-center"
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionSpec(-1, ConnectionType.SYMMETRIC)
+
+    def test_each_call_returns_fresh_instance(self):
+        spec = ConnectionSpec(1, ConnectionType.SYMMETRIC)
+        assert spec.make_algorithm() is not spec.make_algorithm()

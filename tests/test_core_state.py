@@ -1,0 +1,90 @@
+"""Tests for per-(switch, connection) D-GMC state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mc import ConnectionSpec, ConnectionType, Role
+from repro.core.state import McState
+from repro.trees.algorithms import RECEIVER, SENDER
+from repro.trees.base import McTopology, MulticastTree
+
+
+def make_state(ctype=ConnectionType.SYMMETRIC, n=4):
+    return McState(ConnectionSpec(1, ctype), n)
+
+
+class TestMembership:
+    def test_join_with_default_role_symmetric(self):
+        st = make_state()
+        st.apply_join(2, None)
+        assert st.members[2] == frozenset({SENDER, RECEIVER})
+
+    def test_join_with_default_role_receiver_only(self):
+        st = make_state(ConnectionType.RECEIVER_ONLY)
+        st.apply_join(2, None)
+        assert st.members[2] == frozenset({RECEIVER})
+
+    def test_join_with_explicit_role(self):
+        st = make_state(ConnectionType.ASYMMETRIC)
+        st.apply_join(1, Role.SENDER)
+        assert st.members[1] == frozenset({SENDER})
+
+    def test_join_accumulates_roles(self):
+        st = make_state(ConnectionType.ASYMMETRIC)
+        st.apply_join(1, Role.SENDER)
+        st.apply_join(1, Role.RECEIVER)
+        assert st.members[1] == frozenset({SENDER, RECEIVER})
+
+    def test_leave_removes_entirely(self):
+        st = make_state()
+        st.apply_join(1, None)
+        st.apply_leave(1)
+        assert 1 not in st.members
+        assert st.empty
+
+    def test_leave_is_idempotent(self):
+        st = make_state()
+        st.apply_leave(3)  # no raise
+        assert st.empty
+
+    def test_member_set(self):
+        st = make_state()
+        st.apply_join(1, None)
+        st.apply_join(3, None)
+        assert st.member_set == frozenset({1, 3})
+
+
+class TestPredicates:
+    def test_no_outstanding_initially(self):
+        st = make_state()
+        assert st.no_outstanding_lsas()
+
+    def test_outstanding_after_expected_merge(self):
+        st = make_state()
+        st.expected.merge([0, 1, 0, 0])
+        assert not st.no_outstanding_lsas()
+        st.received.increment(1)
+        assert st.no_outstanding_lsas()
+
+    def test_covers_new_events(self):
+        st = make_state()
+        assert not st.covers_new_events()  # R == C == 0
+        st.received.increment(0)
+        assert st.covers_new_events()
+
+
+class TestInstall:
+    def test_install_sets_c_and_proposer(self):
+        st = make_state()
+        topo = McTopology.shared(MulticastTree.build([(0, 1)], [0, 1]))
+        st.install(topo, (1, 0, 0, 0), now=5.0, proposer=2)
+        assert st.installed == topo
+        assert st.current_stamp == (1, 0, 0, 0)
+        assert st.current_proposer == 2
+        assert st.last_install_time == 5.0
+        assert st.proposals_accepted == 1
+
+    def test_initial_proposer_is_sentinel(self):
+        st = make_state(n=4)
+        assert st.current_proposer == 4  # loses every tie

@@ -1,0 +1,260 @@
+"""Switch-level tests of the EventHandler / ReceiveLSA mechanics.
+
+These drive small, hand-analyzable deployments through specific protocol
+paths: single events, conflicting events, proposal withdrawal, deferral,
+MC creation and destruction (Figure 2 / Figures 4-5 behaviors).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DgmcNetwork,
+    JoinEvent,
+    LeaveEvent,
+    LinkEvent,
+    ProtocolConfig,
+    Role,
+)
+from repro.core.lsa import McEvent
+from repro.topo.generators import grid_network, ring_network
+
+
+def deployment(net=None, **config_kw):
+    config_kw.setdefault("compute_time", 1.0)
+    config_kw.setdefault("per_hop_delay", 0.1)
+    dgmc = DgmcNetwork(net or ring_network(4), ProtocolConfig(**config_kw))
+    dgmc.register_symmetric(1)
+    return dgmc
+
+
+class TestSingleEvent:
+    def test_one_computation_one_flood(self):
+        dgmc = deployment()
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.run()
+        assert dgmc.total_computations() == 1
+        assert dgmc.mc_floodings() == 1
+        assert dgmc.computation_log[0].switch == 0
+
+    def test_all_switches_create_state_on_first_join(self):
+        dgmc = deployment()
+        dgmc.inject(JoinEvent(2, 1), at=1.0)
+        dgmc.run()
+        for x, sw in dgmc.switches.items():
+            assert sw.has_connection(1)
+            assert sw.states[1].member_set == frozenset({2})
+
+    def test_event_lsa_carries_proposal_and_all_install(self):
+        dgmc = deployment()
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.inject(JoinEvent(2, 1), at=50.0)
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        state = dgmc.states_for(1)[1]
+        tree = state.installed.shared_tree
+        tree.validate({0, 2})
+
+    def test_compute_time_respected(self):
+        dgmc = deployment(compute_time=5.0)
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.run()
+        # flood happens after the Tc window
+        state = dgmc.states_for(1)[0]
+        assert state.last_install_time == pytest.approx(6.0)
+
+
+class TestConflictingEvents:
+    def test_simultaneous_events_trigger_extra_work(self):
+        dgmc = deployment()
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.inject(JoinEvent(2, 1), at=1.0)
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        # both origins computed; consensus may need triggered proposals
+        assert dgmc.total_computations() >= 2
+        assert dgmc.mc_floodings() >= 2
+
+    def test_conflicting_events_converge_to_union(self):
+        dgmc = deployment()
+        for sw in (0, 1, 2, 3):
+            dgmc.inject(JoinEvent(sw, 1), at=1.0)
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        assert dgmc.states_for(1)[0].member_set == frozenset({0, 1, 2, 3})
+
+    def test_event_during_computation_withdraws_or_defers(self):
+        # Switch 0's computation takes 10 time units; switch 2's event LSA
+        # arrives mid-computation, so 0's EventHandler floods without a
+        # proposal (deferral) and ReceiveLSA eventually proposes.
+        dgmc = deployment(compute_time=10.0, per_hop_delay=0.1)
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.inject(JoinEvent(2, 1), at=1.5)
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        switches = dgmc.switches
+        deferred = sum(sw.triggered_lsas_flooded for sw in switches.values())
+        withdrawn = sum(
+            st.proposals_withdrawn
+            for sw in switches.values()
+            for st in sw.states.values()
+        )
+        # at least one switch had to fall back to the ReceiveLSA path
+        assert deferred + withdrawn >= 1
+
+
+class TestDestruction:
+    def test_last_leave_destroys_state_everywhere(self):
+        dgmc = deployment()
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.inject(JoinEvent(2, 1), at=20.0)
+        dgmc.inject(LeaveEvent(0, 1), at=40.0)
+        dgmc.inject(LeaveEvent(2, 1), at=60.0)
+        dgmc.run()
+        for sw in dgmc.switches.values():
+            assert not sw.has_connection(1)
+        ok, detail = dgmc.agreement(1)
+        assert ok and "destroyed" in detail
+
+    def test_connection_can_be_recreated(self):
+        dgmc = deployment()
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.inject(LeaveEvent(0, 1), at=20.0)
+        dgmc.inject(JoinEvent(3, 1), at=40.0)
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        assert dgmc.states_for(1)[0].member_set == frozenset({3})
+
+
+class TestLinkEvents:
+    def test_link_event_does_not_change_membership(self):
+        dgmc = deployment(net=ring_network(4))
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.inject(JoinEvent(1, 1), at=20.0)
+        dgmc.run()
+        members_before = dgmc.states_for(1)[2].member_set
+        dgmc.inject(LinkEvent(0, 0, 1, up=False), at=40.0)
+        dgmc.run()
+        assert dgmc.states_for(1)[2].member_set == members_before
+
+    def test_tree_reroutes_around_failed_link(self):
+        dgmc = deployment(net=ring_network(4))
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.inject(JoinEvent(1, 1), at=20.0)
+        dgmc.run()
+        tree = dgmc.states_for(1)[0].installed.shared_tree
+        assert (0, 1) in tree.edges
+        dgmc.inject(LinkEvent(0, 0, 1, up=False), at=40.0)
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        tree = dgmc.states_for(1)[0].installed.shared_tree
+        assert (0, 1) not in tree.edges
+        tree.validate({0, 1})
+
+    def test_unaffected_connection_sees_no_mc_event(self):
+        net = grid_network(2, 3)
+        dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=1.0, per_hop_delay=0.1))
+        dgmc.register_symmetric(1)
+        dgmc.register_symmetric(2)
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.inject(JoinEvent(1, 1), at=20.0)  # conn 1 tree: edge (0,1)
+        dgmc.inject(JoinEvent(4, 2), at=40.0)
+        dgmc.inject(JoinEvent(5, 2), at=60.0)  # conn 2 tree: edge (4,5)
+        dgmc.run()
+        events_before = dgmc.mc_event_count
+        # fail a link only connection 1 uses
+        dgmc.inject(LinkEvent(0, 0, 1, up=False), at=80.0)
+        dgmc.run()
+        assert dgmc.mc_event_count == events_before + 1  # only conn 1 affected
+
+    def test_link_recovery_silent_by_default(self):
+        dgmc = deployment(net=ring_network(4))
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.inject(JoinEvent(1, 1), at=20.0)
+        dgmc.inject(LinkEvent(0, 0, 1, up=False), at=40.0)
+        dgmc.run()
+        before = dgmc.mc_event_count
+        dgmc.inject(LinkEvent(0, 0, 1, up=True), at=60.0)
+        dgmc.run()
+        assert dgmc.mc_event_count == before
+
+    def test_link_recovery_reoptimizes_when_enabled(self):
+        net = ring_network(4)
+        dgmc = DgmcNetwork(
+            net,
+            ProtocolConfig(
+                compute_time=1.0, per_hop_delay=0.1, reoptimize_on_link_up=True
+            ),
+        )
+        dgmc.register_symmetric(1)
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.inject(JoinEvent(1, 1), at=20.0)
+        dgmc.inject(LinkEvent(0, 0, 1, up=False), at=40.0)
+        dgmc.run()
+        dgmc.inject(LinkEvent(0, 0, 1, up=True), at=60.0)
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        tree = dgmc.states_for(1)[2].installed.shared_tree
+        assert tree.edges == frozenset({(0, 1)})  # direct link restored
+
+
+class TestRoles:
+    def test_asymmetric_join_roles_propagate(self):
+        net = ring_network(4)
+        dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=1.0, per_hop_delay=0.1))
+        dgmc.register_asymmetric(1)
+        dgmc.inject(JoinEvent(0, 1, role=Role.SENDER), at=1.0)
+        dgmc.inject(JoinEvent(2, 1, role=Role.RECEIVER), at=20.0)
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        state = dgmc.states_for(1)[3]
+        assert state.members[0] == frozenset({"sender"})
+        assert state.members[2] == frozenset({"receiver"})
+        trees = state.installed.tree_map()
+        assert list(trees) == [0]
+        trees[0].validate({0, 2})
+
+    def test_asymmetric_join_without_role_rejected(self):
+        net = ring_network(4)
+        dgmc = DgmcNetwork(net, ProtocolConfig())
+        dgmc.register_asymmetric(1)
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        with pytest.raises(ValueError):
+            dgmc.run()
+
+
+class TestForwardingView:
+    def test_forwarding_links_incident_only(self):
+        dgmc = deployment(net=ring_network(4))
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.inject(JoinEvent(2, 1), at=20.0)
+        dgmc.run()
+        for x, sw in dgmc.switches.items():
+            for edge in sw.forwarding_links(1):
+                assert x in edge
+
+    def test_forwarding_links_empty_without_state(self):
+        dgmc = deployment()
+        assert dgmc.switches[0].forwarding_links(1) == []
+
+
+class TestRegistry:
+    def test_unregistered_connection_rejected(self):
+        dgmc = deployment()
+        dgmc.inject(JoinEvent(0, 99), at=1.0)
+        with pytest.raises(KeyError):
+            dgmc.run()
+
+    def test_duplicate_registration_rejected(self):
+        dgmc = deployment()
+        with pytest.raises(ValueError):
+            dgmc.register_symmetric(1)

@@ -1,0 +1,178 @@
+"""Tests for vector timestamps: the partial order and its laws (invariant 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.timestamp import (
+    VectorTimestamp,
+    stamp_geq,
+    stamp_gt,
+    stamp_max,
+)
+
+vectors = st.lists(st.integers(0, 20), min_size=1, max_size=8)
+
+
+def pair_of_vectors():
+    return st.integers(1, 8).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, 20), min_size=n, max_size=n),
+            st.lists(st.integers(0, 20), min_size=n, max_size=n),
+        )
+    )
+
+
+class TestConstruction:
+    def test_zero_initialized(self):
+        t = VectorTimestamp(4)
+        assert t.snapshot() == (0, 0, 0, 0)
+        assert len(t) == 4
+
+    def test_from_values(self):
+        t = VectorTimestamp([1, 2, 3])
+        assert t.snapshot() == (1, 2, 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            VectorTimestamp(0)
+        with pytest.raises(ValueError):
+            VectorTimestamp([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VectorTimestamp([1, -1])
+        t = VectorTimestamp(2)
+        with pytest.raises(ValueError):
+            t[0] = -5
+
+
+class TestMutation:
+    def test_increment(self):
+        t = VectorTimestamp(3)
+        t.increment(1)
+        t.increment(1, by=2)
+        assert t.snapshot() == (0, 3, 0)
+
+    def test_setitem_getitem(self):
+        t = VectorTimestamp(2)
+        t[1] = 7
+        assert t[1] == 7
+
+    def test_assign(self):
+        t = VectorTimestamp(3)
+        t.assign([4, 5, 6])
+        assert t.snapshot() == (4, 5, 6)
+        with pytest.raises(ValueError):
+            t.assign([1, 2])
+
+    def test_merge_is_componentwise_max(self):
+        t = VectorTimestamp([1, 5, 0])
+        changed = t.merge([3, 2, 0])
+        assert changed
+        assert t.snapshot() == (3, 5, 0)
+        assert not t.merge([0, 0, 0])
+
+    def test_merge_length_mismatch(self):
+        with pytest.raises(ValueError):
+            VectorTimestamp(2).merge([1, 2, 3])
+
+
+class TestOrder:
+    def test_geq_examples(self):
+        a = VectorTimestamp([2, 3])
+        assert a.geq([2, 3])
+        assert a.geq([1, 3])
+        assert not a.geq([3, 0])
+
+    def test_gt_is_strict(self):
+        a = VectorTimestamp([2, 3])
+        assert not a.gt([2, 3])
+        assert a.gt([2, 2])
+
+    def test_concurrent(self):
+        a = VectorTimestamp([1, 0])
+        assert a.concurrent_with([0, 1])
+        assert not a.concurrent_with([0, 0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VectorTimestamp(2).geq([1, 2, 3])
+
+    @given(vectors)
+    def test_reflexive(self, v):
+        assert VectorTimestamp(v).geq(v)
+        assert not VectorTimestamp(v).gt(v)
+
+    @given(pair_of_vectors())
+    def test_antisymmetry(self, pair):
+        a, b = pair
+        ta, tb = VectorTimestamp(a), VectorTimestamp(b)
+        if ta.geq(b) and tb.geq(a):
+            assert a == b
+
+    @given(
+        st.integers(1, 6).flatmap(
+            lambda n: st.tuples(
+                *[st.lists(st.integers(0, 10), min_size=n, max_size=n)] * 3
+            )
+        )
+    )
+    def test_transitivity(self, triple):
+        a, b, c = triple
+        if VectorTimestamp(a).geq(b) and VectorTimestamp(b).geq(c):
+            assert VectorTimestamp(a).geq(c)
+
+    @given(pair_of_vectors())
+    def test_merge_is_least_upper_bound(self, pair):
+        a, b = pair
+        m = VectorTimestamp(a)
+        m.merge(b)
+        assert m.geq(a) and m.geq(b)
+        # least: any upper bound dominates the merge
+        ub = [max(x, y) for x, y in zip(a, b)]
+        assert VectorTimestamp(ub).geq(m.snapshot())
+        assert m.geq(ub)
+
+
+class TestMisc:
+    def test_copy_is_independent(self):
+        a = VectorTimestamp([1, 2])
+        b = a.copy()
+        b.increment(0)
+        assert a.snapshot() == (1, 2)
+
+    def test_equality_with_tuples_and_lists(self):
+        a = VectorTimestamp([1, 2])
+        assert a == (1, 2)
+        assert a == [1, 2]
+        assert a == VectorTimestamp([1, 2])
+        assert a != (1, 3)
+
+    def test_hash_forbidden(self):
+        with pytest.raises(TypeError):
+            hash(VectorTimestamp(2))
+
+    def test_total(self):
+        assert VectorTimestamp([1, 2, 3]).total() == 6
+
+    def test_equals_method(self):
+        assert VectorTimestamp([1, 2]).equals((1, 2))
+
+
+class TestStampHelpers:
+    def test_stamp_geq_gt(self):
+        assert stamp_geq((2, 2), (1, 2))
+        assert not stamp_geq((2, 2), (3, 0))
+        assert stamp_gt((2, 2), (1, 2))
+        assert not stamp_gt((2, 2), (2, 2))
+
+    def test_stamp_max(self):
+        assert stamp_max((1, 5), (3, 2)) == (3, 5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            stamp_geq((1,), (1, 2))
+        with pytest.raises(ValueError):
+            stamp_max((1,), (1, 2))

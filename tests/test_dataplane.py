@@ -1,0 +1,206 @@
+"""Tests for the multicast data plane: per-type delivery semantics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    DgmcNetwork,
+    JoinEvent,
+    LeaveEvent,
+    LinkEvent,
+    ProtocolConfig,
+    Role,
+)
+from repro.dataplane import ForwardingEngine, McPacket
+from repro.topo.generators import grid_network, ring_network, waxman_network
+
+
+def deployment(net=None, ctype="symmetric"):
+    dgmc = DgmcNetwork(
+        net or ring_network(6), ProtocolConfig(compute_time=0.5, per_hop_delay=0.05)
+    )
+    if ctype == "symmetric":
+        dgmc.register_symmetric(1)
+    elif ctype == "receiver-only":
+        dgmc.register_receiver_only(1)
+    else:
+        dgmc.register_asymmetric(1)
+    return dgmc
+
+
+class TestSymmetricDelivery:
+    def test_member_to_members(self):
+        dgmc = deployment()
+        for i, sw in enumerate([0, 2, 4]):
+            dgmc.inject(JoinEvent(sw, 1), at=10.0 * (i + 1))
+        dgmc.run()
+        engine = ForwardingEngine(dgmc)
+        record = engine.send(McPacket(0, 1), at=100.0)
+        dgmc.run()
+        assert record.complete
+        assert record.intended == frozenset({0, 2, 4})
+        assert set(record.delivered) >= {0, 2, 4}
+        assert record.duplicates == 0
+
+    def test_latency_positive_for_remote_members(self):
+        dgmc = deployment(net=grid_network(1, 5))
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(4, 1), at=20.0)
+        dgmc.run()
+        engine = ForwardingEngine(dgmc)
+        record = engine.send(McPacket(0, 1), at=100.0)
+        dgmc.run()
+        assert record.latency(0) == 0.0  # local delivery
+        assert record.latency(4) == pytest.approx(4.0)  # 4 unit-delay hops
+
+    def test_every_member_can_send(self, rng):
+        net = waxman_network(20, rng)
+        dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05))
+        dgmc.register_symmetric(1)
+        members = [2, 8, 14, 19]
+        for i, sw in enumerate(members):
+            dgmc.inject(JoinEvent(sw, 1), at=10.0 * (i + 1))
+        dgmc.run()
+        engine = ForwardingEngine(dgmc)
+        records = [
+            engine.send(McPacket(m, 1), at=200.0 + i)
+            for i, m in enumerate(members)
+        ]
+        dgmc.run()
+        assert all(r.complete for r in records)
+
+    def test_undeliverable_without_state(self):
+        dgmc = deployment()
+        engine = ForwardingEngine(dgmc)
+        record = engine.send(McPacket(0, 1), at=1.0)
+        dgmc.run()
+        assert record.undeliverable
+
+
+class TestReceiverOnlyDelivery:
+    def test_two_stage_delivery_from_non_member(self):
+        # line 0-1-2-3-4; members at 3 and 4; sender 0 is off-tree.
+        dgmc = deployment(net=grid_network(1, 5), ctype="receiver-only")
+        dgmc.inject(JoinEvent(3, 1), at=10.0)
+        dgmc.inject(JoinEvent(4, 1), at=20.0)
+        dgmc.run()
+        engine = ForwardingEngine(dgmc)
+        record = engine.send(McPacket(0, 1), at=100.0)
+        dgmc.run()
+        assert record.complete
+        assert record.intended == frozenset({3, 4})
+        # stage 1 rode unicast 0->1->2->3 (3 hops) + tree hop 3->4
+        assert record.hops == 4
+
+    def test_contact_node_is_nearest_member(self):
+        dgmc = deployment(net=ring_network(8), ctype="receiver-only")
+        dgmc.inject(JoinEvent(2, 1), at=10.0)
+        dgmc.inject(JoinEvent(6, 1), at=20.0)
+        dgmc.run()
+        engine = ForwardingEngine(dgmc)
+        record = engine.send(McPacket(1, 1), at=100.0)
+        dgmc.run()
+        assert record.complete
+        # nearest member to 1 on the ring is 2 (1 hop); delivery there first
+        assert record.delivered[2] < record.delivered[6]
+
+
+class TestAsymmetricDelivery:
+    def test_sender_tree_reaches_receivers_only(self):
+        dgmc = deployment(net=ring_network(6), ctype="asymmetric")
+        dgmc.inject(JoinEvent(0, 1, role=Role.SENDER), at=10.0)
+        dgmc.inject(JoinEvent(2, 1, role=Role.RECEIVER), at=20.0)
+        dgmc.inject(JoinEvent(4, 1, role=Role.RECEIVER), at=30.0)
+        dgmc.run()
+        engine = ForwardingEngine(dgmc)
+        record = engine.send(McPacket(0, 1), at=100.0)
+        dgmc.run()
+        assert record.intended == frozenset({2, 4})
+        assert record.complete
+        # the sender itself is not a receiver
+        assert 0 not in record.delivered or record.intended != {0}
+
+    def test_non_sender_has_no_tree(self):
+        dgmc = deployment(net=ring_network(6), ctype="asymmetric")
+        dgmc.inject(JoinEvent(0, 1, role=Role.SENDER), at=10.0)
+        dgmc.inject(JoinEvent(2, 1, role=Role.RECEIVER), at=20.0)
+        dgmc.run()
+        engine = ForwardingEngine(dgmc)
+        # switch 4 never joined as sender: no source-rooted tree for it
+        record = engine.send(McPacket(4, 1), at=100.0)
+        dgmc.run()
+        assert record.delivery_ratio < 1.0 or record.undeliverable
+
+
+class TestChurnDisruption:
+    def test_steady_state_is_loss_free(self, rng):
+        net = waxman_network(25, rng)
+        dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05))
+        dgmc.register_symmetric(1)
+        members = [1, 7, 13, 19]
+        for i, sw in enumerate(members):
+            dgmc.inject(JoinEvent(sw, 1), at=10.0 * (i + 1))
+        dgmc.run()
+        engine = ForwardingEngine(dgmc)
+        for i in range(10):
+            engine.send(McPacket(members[i % 4], 1), at=200.0 + 10.0 * i)
+        dgmc.run()
+        assert engine.report.mean_delivery_ratio == 1.0
+        assert engine.report.total_duplicates == 0
+
+    def test_packets_after_link_failure_use_new_tree(self):
+        dgmc = deployment(net=ring_network(6))
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(1, 1), at=20.0)
+        dgmc.run()
+        dgmc.inject(LinkEvent(0, 0, 1, up=False), at=50.0)
+        dgmc.run()
+        engine = ForwardingEngine(dgmc)
+        record = engine.send(McPacket(0, 1), at=100.0)
+        dgmc.run()
+        assert record.complete
+        # the direct link is dead; delivery must take the long way (4 hops)
+        assert record.hops >= 4
+
+    def test_mid_reconvergence_packets_reported_not_crashed(self):
+        # inject a packet while the join burst is still converging: the
+        # engine must account for it (possibly incomplete), never raise.
+        dgmc = deployment(net=ring_network(8))
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.run()
+        for sw in (2, 4, 6):
+            dgmc.inject(JoinEvent(sw, 1), at=100.0)
+        engine = ForwardingEngine(dgmc)
+        record = engine.send(McPacket(0, 1), at=100.4)
+        dgmc.run()
+        assert 0.0 <= record.delivery_ratio <= 1.0
+
+
+class TestReport:
+    def test_aggregates(self):
+        dgmc = deployment()
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(3, 1), at=20.0)
+        dgmc.run()
+        engine = ForwardingEngine(dgmc)
+        for i in range(3):
+            engine.send(McPacket(0, 1), at=100.0 + i)
+        dgmc.run()
+        report = engine.report
+        assert report.packets == 3
+        assert report.complete_deliveries == 3
+        assert report.mean_delivery_ratio == 1.0
+        assert report.total_hops > 0
+
+    def test_fixed_hop_delay(self):
+        dgmc = deployment(net=grid_network(1, 3))
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(2, 1), at=20.0)
+        dgmc.run()
+        engine = ForwardingEngine(dgmc, hop_delay=5.0)
+        record = engine.send(McPacket(0, 1), at=100.0)
+        dgmc.run()
+        assert record.latency(2) == pytest.approx(10.0)

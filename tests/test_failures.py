@@ -1,0 +1,112 @@
+"""Tests for failure injection and long-run fault tolerance (Section 6)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import DgmcNetwork, JoinEvent, ProtocolConfig
+from repro.dataplane import ForwardingEngine, McPacket
+from repro.topo.generators import waxman_network
+from repro.workloads.failures import FailureInjector
+
+
+def deployment(rng, n=25, reoptimize=True):
+    net = waxman_network(n, rng)
+    dgmc = DgmcNetwork(
+        net,
+        ProtocolConfig(
+            compute_time=0.5, per_hop_delay=0.05, reoptimize_on_link_up=reoptimize
+        ),
+    )
+    dgmc.register_symmetric(1)
+    members = rng.sample(range(n), 6)
+    for i, sw in enumerate(members):
+        dgmc.inject(JoinEvent(sw, 1), at=10.0 * (i + 1))
+    dgmc.run()
+    return dgmc, members
+
+
+class TestInjector:
+    def test_single_cycle_fails_and_repairs(self, rng):
+        dgmc, _ = deployment(rng)
+        injector = FailureInjector(dgmc, rng)
+        injector.schedule_cycle(fail_at=200.0, repair_after=50.0)
+        dgmc.run()
+        assert injector.failures_injected == 1
+        assert injector.repairs_completed == 1
+        record = injector.records[0]
+        assert record.repaired_at == pytest.approx(record.failed_at + 50.0)
+        assert dgmc.net.link(*record.edge).up
+
+    def test_permanent_failure(self, rng):
+        dgmc, _ = deployment(rng)
+        injector = FailureInjector(dgmc, rng)
+        injector.schedule_cycle(fail_at=200.0, repair_after=None)
+        dgmc.run()
+        assert injector.repairs_completed == 0
+        assert not dgmc.net.link(*injector.records[0].edge).up
+
+    def test_network_stays_connected_by_default(self, rng):
+        dgmc, _ = deployment(rng)
+        injector = FailureInjector(dgmc, rng)
+        injector.schedule_campaign(start=200.0, count=8, mean_gap=100.0)
+        dgmc.run()
+        assert dgmc.net.is_connected()
+
+    def test_campaign_is_reproducible(self):
+        def run_once():
+            rng = random.Random(4)
+            dgmc, _ = deployment(rng)
+            injector = FailureInjector(dgmc, rng)
+            injector.schedule_campaign(
+                start=200.0, count=5, mean_gap=80.0, mean_downtime=40.0
+            )
+            dgmc.run()
+            return [(r.edge, r.failed_at, r.repaired_at) for r in injector.records]
+
+        assert run_once() == run_once()
+
+
+class TestFaultTolerance:
+    def test_protocol_survives_failure_repair_churn(self, rng):
+        """Sustained failure/repair cycles: agreement + valid trees hold."""
+        dgmc, members = deployment(rng)
+        injector = FailureInjector(dgmc, rng)
+        injector.schedule_campaign(
+            start=200.0, count=10, mean_gap=60.0, mean_downtime=30.0
+        )
+        dgmc.run()
+        assert injector.failures_injected == 10
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        state = dgmc.states_for(1)[0]
+        tree = state.installed.shared_tree
+        tree.validate(members)
+        up_edges = {link.key for link in dgmc.net.links()}
+        assert tree.edges <= up_edges
+
+    def test_delivery_recovers_after_each_failure(self, rng):
+        dgmc, members = deployment(rng)
+        injector = FailureInjector(dgmc, rng)
+        engine = ForwardingEngine(dgmc)
+        t = 300.0
+        for _ in range(5):
+            injector.schedule_cycle(fail_at=t, repair_after=None)
+            # send a probe well after reconvergence
+            engine.send(McPacket(members[0], 1), at=t + 50.0)
+            t += 100.0
+        dgmc.run()
+        assert engine.report.packets == 5
+        assert engine.report.mean_delivery_ratio == 1.0
+
+    def test_reoptimize_off_still_converges(self, rng):
+        dgmc, members = deployment(rng, reoptimize=False)
+        injector = FailureInjector(dgmc, rng)
+        injector.schedule_campaign(
+            start=200.0, count=6, mean_gap=80.0, mean_downtime=40.0
+        )
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail

@@ -1,0 +1,230 @@
+"""Tests for hierarchical D-GMC: partitioning, stitching, scoping win."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import DgmcNetwork, JoinEvent, ProtocolConfig
+from repro.hier import AreaPlan, HierDgmcNetwork, bfs_partition
+from repro.hier.partition import PartitionError
+from repro.topo.generators import grid_network, waxman_network
+
+
+def grid_plan():
+    """4x4 grid split into left/right halves (columns 0-1 vs 2-3)."""
+    net = grid_network(4, 4)
+    assignment = {x: (0 if x % 4 < 2 else 1) for x in net.switches()}
+    return AreaPlan(net, assignment)
+
+
+class TestPartition:
+    def test_grid_plan_shapes(self):
+        plan = grid_plan()
+        assert plan.area_ids == [0, 1]
+        assert plan.area(0).net.n == 8
+        assert plan.area(1).net.n == 8
+        # columns 1 and 2 touch across the cut: 4 borders each side
+        assert len(plan.area(0).borders) == 4
+        assert len(plan.area(1).borders) == 4
+        assert plan.backbone.n == 8
+
+    def test_leader_is_smallest_border(self):
+        plan = grid_plan()
+        assert plan.area(0).leader == min(plan.area(0).borders)
+
+    def test_id_mappings_roundtrip(self):
+        plan = grid_plan()
+        view = plan.area(1)
+        for g, l in view.to_local.items():
+            assert view.to_global[l] == g
+
+    def test_assignment_must_cover_all(self):
+        net = grid_network(2, 2)
+        with pytest.raises(PartitionError):
+            AreaPlan(net, {0: 0, 1: 1})
+
+    def test_needs_two_areas(self):
+        net = grid_network(2, 2)
+        with pytest.raises(PartitionError):
+            AreaPlan(net, {x: 0 for x in net.switches()})
+
+    def test_disconnected_area_rejected(self):
+        net = grid_network(1, 4)  # line 0-1-2-3
+        with pytest.raises(PartitionError, match="connected"):
+            AreaPlan(net, {0: 0, 1: 1, 2: 1, 3: 0})  # area 0 = {0, 3}: split
+
+    def test_backbone_virtual_edges_expand_to_paths(self):
+        plan = grid_plan()
+        view = plan.area(0)
+        a, b = view.borders[0], view.borders[-1]
+        la, lb = plan.backbone_to_local[a], plan.backbone_to_local[b]
+        if plan.backbone.has_link(la, lb):
+            edges = plan.expand_backbone_edge(la, lb)
+            assert len(edges) >= 1
+            for u, v in edges:
+                assert plan.net.has_link(u, v)
+
+    def test_bfs_partition_covers_and_balances(self, rng):
+        net = waxman_network(40, rng)
+        assignment = bfs_partition(net, 4, rng)
+        assert set(assignment) == set(net.switches())
+        sizes = [sum(1 for a in assignment.values() if a == k) for k in range(4)]
+        assert min(sizes) >= 40 // 4 - 6
+
+    def test_bfs_partition_yields_valid_plan(self, rng):
+        for seed in range(5):
+            local = random.Random(seed)
+            net = waxman_network(30, local)
+            assignment = bfs_partition(net, 3, local)
+            plan = AreaPlan(net, assignment)  # raises on bad partitions
+            assert plan.backbone.is_connected()
+
+
+def hier_deployment():
+    plan = grid_plan()
+    hier = HierDgmcNetwork(
+        plan, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05)
+    )
+    hier.register_symmetric(1)
+    return plan, hier
+
+
+class TestHierProtocol:
+    def test_single_area_membership_stays_local(self):
+        plan, hier = hier_deployment()
+        hier.inject_join(0, 1, at=10.0)  # area 0
+        hier.inject_join(4, 1, at=20.0)  # area 0
+        hier.run()
+        ok, detail = hier.agreement(1)
+        assert ok, detail
+        # area 1's protocol saw zero MC floodings
+        assert hier.area_protocols[1].mc_floodings() == 0
+
+    def test_cross_area_members_are_stitched(self):
+        plan, hier = hier_deployment()
+        hier.inject_join(0, 1, at=10.0)   # area 0 (left)
+        hier.inject_join(15, 1, at=30.0)  # area 1 (right)
+        hier.run()
+        ok, detail = hier.agreement(1)
+        assert ok, detail
+        assert hier.spans_members(1)
+        edges = hier.global_edges(1)
+        assert all(plan.net.has_link(u, v) for u, v in edges)
+
+    def test_leaders_join_backbone_once_per_area(self):
+        plan, hier = hier_deployment()
+        for sw in (0, 4, 15, 11):
+            hier.inject_join(sw, 1, at=10.0 + sw)
+        hier.run()
+        bb_states = hier.backbone_protocol.states_for(1)
+        members = bb_states[min(bb_states)].member_set
+        expected = {
+            plan.backbone_to_local[plan.area(0).leader],
+            plan.backbone_to_local[plan.area(1).leader],
+        }
+        assert members == expected
+
+    def test_area_emptying_withdraws_leader(self):
+        plan, hier = hier_deployment()
+        hier.inject_join(0, 1, at=10.0)
+        hier.inject_join(15, 1, at=30.0)
+        hier.inject_leave(0, 1, at=100.0)  # area 0 empties
+        hier.run()
+        ok, detail = hier.agreement(1)
+        assert ok, detail
+        bb_states = hier.backbone_protocol.states_for(1)
+        members = bb_states[min(bb_states)].member_set
+        assert members == {plan.backbone_to_local[plan.area(1).leader]}
+        assert hier.spans_members(1)
+
+    def test_leader_real_join_and_leave(self):
+        plan, hier = hier_deployment()
+        leader0 = plan.area(0).leader
+        other0 = next(
+            x for x in plan.net.switches()
+            if plan.area_of(x) == 0 and x != leader0
+        )
+        hier.inject_join(other0, 1, at=10.0)   # activates the proxy
+        hier.inject_join(leader0, 1, at=30.0)  # leader joins for real
+        hier.inject_leave(leader0, 1, at=60.0)  # leader leaves; proxy stays
+        hier.run()
+        ok, detail = hier.agreement(1)
+        assert ok, detail
+        view = plan.area(0)
+        states = hier.area_protocols[0].states_for(1)
+        members = states[min(states)].member_set
+        # the proxy keeps the leader on the area MC
+        assert view.to_local[leader0] in members
+        assert view.to_local[other0] in members
+
+    def test_spans_members_across_many_joins(self, rng):
+        net = waxman_network(36, rng)
+        assignment = bfs_partition(net, 3, rng)
+        plan = AreaPlan(net, assignment)
+        hier = HierDgmcNetwork(
+            plan, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05)
+        )
+        hier.register_symmetric(1)
+        joiners = rng.sample(range(36), 9)
+        for i, sw in enumerate(joiners):
+            hier.inject_join(sw, 1, at=50.0 * (i + 1))
+        hier.run()
+        ok, detail = hier.agreement(1)
+        assert ok, detail
+        assert hier.global_members(1) == set(joiners)
+        assert hier.spans_members(1)
+
+    def test_duplicate_registration_rejected(self):
+        _, hier = hier_deployment()
+        with pytest.raises(ValueError):
+            hier.register_symmetric(1)
+
+    def test_idempotent_join_and_absent_leave(self):
+        _, hier = hier_deployment()
+        hier.inject_join(0, 1, at=10.0)
+        hier.inject_join(0, 1, at=20.0)   # duplicate: ignored
+        hier.inject_leave(5, 1, at=30.0)  # never joined: ignored
+        hier.run()
+        ok, detail = hier.agreement(1)
+        assert ok, detail
+        assert hier.global_members(1) == {0}
+
+
+class TestScalingWin:
+    def test_hierarchy_scopes_lsa_deliveries(self, rng):
+        """Same workload: hierarchical LSA deliveries << flat deliveries.
+
+        On a hierarchy-shaped topology (dense clusters, few trunks, so the
+        backbone is small) the saving is decisive even with the
+        leader-proxy overhead.
+        """
+        from repro.topo.generators import clustered_network
+
+        net, assignment = clustered_network(4, 24, rng)
+        joiners = rng.sample(range(96), 10)
+
+        flat = DgmcNetwork(
+            net.copy(), ProtocolConfig(compute_time=0.5, per_hop_delay=0.05)
+        )
+        flat.register_symmetric(1)
+        for i, sw in enumerate(joiners):
+            flat.inject(JoinEvent(sw, 1), at=50.0 * (i + 1))
+        flat.run()
+
+        plan = AreaPlan(net.copy(), assignment)
+        hier = HierDgmcNetwork(
+            plan, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05)
+        )
+        hier.register_symmetric(1)
+        for i, sw in enumerate(joiners):
+            hier.inject_join(sw, 1, at=50.0 * (i + 1))
+        hier.run()
+
+        ok, detail = hier.agreement(1)
+        assert ok, detail
+        assert hier.spans_members(1)
+        flat_deliveries = flat.fabric.delivery_count
+        hier_deliveries = hier.total_lsa_deliveries()
+        assert hier_deliveries < 0.6 * flat_deliveries

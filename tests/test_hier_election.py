@@ -1,0 +1,152 @@
+"""Tests for group-leader election / failover in hierarchical D-GMC.
+
+The authors' companion work ("Group Leader Election under Link-State
+Routing") addresses exactly this: the area leader is derived from shared
+link-state knowledge, so when a border switch dies every survivor elects
+the same replacement deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ProtocolConfig
+from repro.hier import AreaPlan, HierDgmcNetwork
+from repro.topo.generators import clustered_network
+
+
+def deployment(seed=9, clusters=3, size=8, inter_links=2):
+    rng = random.Random(seed)
+    net, assignment = clustered_network(
+        clusters, size, rng, inter_links_per_pair=inter_links
+    )
+    plan = AreaPlan(net, assignment)
+    hier = HierDgmcNetwork(
+        plan, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05)
+    )
+    hier.register_symmetric(1)
+    return plan, hier
+
+
+def area_with_spare_border(plan):
+    """An area with >= 2 borders (so failover has a candidate)."""
+    for a in plan.area_ids:
+        if len(plan.area(a).borders) >= 2:
+            return a
+    pytest.skip("no area with two borders in this topology")
+
+
+class TestElection:
+    def test_initial_leader_is_smallest_live_border(self):
+        plan, hier = deployment()
+        a = plan.area_ids[0]
+        assert hier._elect_leader(a) == plan.area(a).borders[0]
+
+    def test_election_skips_dead_borders(self):
+        plan, hier = deployment()
+        a = area_with_spare_border(plan)
+        borders = plan.area(a).borders
+        hier.dead_borders.add(borders[0])
+        assert hier._elect_leader(a) == borders[1]
+
+    def test_election_none_when_all_borders_dead(self):
+        plan, hier = deployment()
+        a = plan.area_ids[0]
+        hier.dead_borders.update(plan.area(a).borders)
+        assert hier._elect_leader(a) is None
+
+
+class TestFailover:
+    def test_leader_failure_promotes_next_border(self):
+        plan, hier = deployment()
+        a = area_with_spare_border(plan)
+        borders = plan.area(a).borders
+        # put a real member in the area (not a border) and another area
+        member = next(
+            x for x in plan.net.switches()
+            if plan.area_of(x) == a and x not in borders
+        )
+        other_area = next(b for b in plan.area_ids if b != a)
+        other_member = next(
+            x for x in plan.net.switches() if plan.area_of(x) == other_area
+        )
+        hier.inject_join(member, 1, at=10.0)
+        hier.inject_join(other_member, 1, at=30.0)
+        hier.run()
+        conn = hier.connections[1]
+        assert conn.acting_leader[a] == borders[0]
+
+        hier.inject_border_failure(borders[0], at=100.0)
+        hier.run()
+        assert conn.acting_leader[a] == borders[1]
+        ok, detail = hier.agreement(1)
+        assert ok, detail
+        # the new leader represents the area on the backbone
+        bb_states = hier.backbone_protocol.states_for(1)
+        live_bb = {
+            x: s
+            for x, s in bb_states.items()
+            if hier.plan.backbone_to_global[x] not in hier.dead_borders
+        }
+        members = live_bb[min(live_bb)].member_set
+        assert hier.plan.backbone_to_local[borders[1]] in members
+
+    def test_non_leader_border_failure_keeps_leader(self):
+        plan, hier = deployment()
+        a = area_with_spare_border(plan)
+        borders = plan.area(a).borders
+        member = next(
+            x for x in plan.net.switches()
+            if plan.area_of(x) == a and x not in borders
+        )
+        hier.inject_join(member, 1, at=10.0)
+        hier.run()
+        conn = hier.connections[1]
+        leader_before = conn.acting_leader[a]
+        victim = next(b for b in borders if b != leader_before)
+        hier.inject_border_failure(victim, at=100.0)
+        hier.run()
+        assert conn.acting_leader[a] == leader_before
+
+    def test_double_failure_is_idempotent(self):
+        plan, hier = deployment()
+        a = area_with_spare_border(plan)
+        b0 = plan.area(a).borders[0]
+        hier.inject_border_failure(b0, at=10.0)
+        hier.inject_border_failure(b0, at=20.0)
+        hier.run()
+        assert hier.dead_borders == {b0}
+
+    def test_non_border_failure_rejected(self):
+        plan, hier = deployment()
+        a = plan.area_ids[0]
+        non_border = next(
+            x for x in plan.net.switches()
+            if plan.area_of(x) == a and x not in plan.area(a).borders
+        )
+        with pytest.raises(ValueError, match="border"):
+            hier.inject_border_failure(non_border, at=10.0)
+
+    def test_members_still_stitched_after_failover(self):
+        plan, hier = deployment(seed=11)
+        a = area_with_spare_border(plan)
+        borders = plan.area(a).borders
+        members = [
+            x for x in plan.net.switches()
+            if plan.area_of(x) == a and x not in borders
+        ][:2]
+        other_area = next(b for b in plan.area_ids if b != a)
+        other = next(
+            x for x in plan.net.switches()
+            if plan.area_of(x) == other_area
+            and x not in plan.area(other_area).borders
+        )
+        for i, sw in enumerate(members + [other]):
+            hier.inject_join(sw, 1, at=20.0 * (i + 1))
+        hier.run()
+        hier.inject_border_failure(borders[0], at=200.0)
+        hier.run()
+        ok, detail = hier.agreement(1)
+        assert ok, detail

@@ -1,0 +1,97 @@
+"""Tests for the link-state database and the two-way-check network image."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lsr.lsa import NonMcLsa, RouterLsa
+from repro.lsr.lsdb import LinkStateDatabase
+
+
+def lsa(origin, seqnum, links):
+    return RouterLsa(origin, seqnum, tuple(links))
+
+
+class TestInstall:
+    def test_first_install_accepted(self):
+        db = LinkStateDatabase(2)
+        assert db.install(lsa(0, 1, [(1, 1.0, True)]))
+        assert db.get(0).seqnum == 1
+
+    def test_newer_replaces(self):
+        db = LinkStateDatabase(2)
+        db.install(lsa(0, 1, [(1, 1.0, True)]))
+        assert db.install(lsa(0, 2, [(1, 1.0, False)]))
+        assert db.get(0).seqnum == 2
+
+    def test_stale_rejected(self):
+        db = LinkStateDatabase(2)
+        db.install(lsa(0, 5, [(1, 1.0, True)]))
+        assert not db.install(lsa(0, 3, [(1, 1.0, False)]))
+        assert db.get(0).seqnum == 5
+
+    def test_same_seqnum_rejected(self):
+        db = LinkStateDatabase(2)
+        db.install(lsa(0, 1, []))
+        assert not db.install(lsa(0, 1, []))
+
+    def test_complete(self):
+        db = LinkStateDatabase(2)
+        db.install(lsa(0, 1, []))
+        assert not db.complete()
+        db.install(lsa(1, 1, []))
+        assert db.complete()
+
+
+class TestImage:
+    def test_two_way_check_requires_both_sides(self):
+        db = LinkStateDatabase(2)
+        db.install(lsa(0, 1, [(1, 1.0, True)]))
+        assert db.adjacency()[0] == {}  # 1 has not advertised yet
+        db.install(lsa(1, 1, [(0, 1.0, True)]))
+        assert db.adjacency()[0] == {1: 1.0}
+        assert db.adjacency()[1] == {0: 1.0}
+
+    def test_down_on_either_side_hides_link(self):
+        db = LinkStateDatabase(2)
+        db.install(lsa(0, 1, [(1, 1.0, True)]))
+        db.install(lsa(1, 1, [(0, 1.0, False)]))
+        assert db.adjacency()[0] == {}
+
+    def test_delay_averaged(self):
+        db = LinkStateDatabase(2)
+        db.install(lsa(0, 1, [(1, 1.0, True)]))
+        db.install(lsa(1, 1, [(0, 3.0, True)]))
+        assert db.adjacency()[0][1] == pytest.approx(2.0)
+
+    def test_image_cache_invalidated_by_install(self):
+        db = LinkStateDatabase(2)
+        db.install(lsa(0, 1, [(1, 1.0, True)]))
+        db.install(lsa(1, 1, [(0, 1.0, True)]))
+        first = db.adjacency()
+        assert first[0] == {1: 1.0}
+        db.install(lsa(0, 2, [(1, 1.0, False)]))
+        assert db.adjacency()[0] == {}
+
+    def test_image_cached_between_installs(self):
+        db = LinkStateDatabase(2)
+        db.install(lsa(0, 1, [(1, 1.0, True)]))
+        db.install(lsa(1, 1, [(0, 1.0, True)]))
+        assert db.adjacency() is db.adjacency()
+
+
+class TestRouterLsa:
+    def test_link_map(self):
+        l = lsa(0, 1, [(1, 2.0, True), (3, 4.0, False)])
+        assert l.link_map() == {1: (2.0, True), 3: (4.0, False)}
+
+    def test_is_newer_than_cross_origin_rejected(self):
+        with pytest.raises(ValueError):
+            lsa(0, 1, []).is_newer_than(lsa(1, 1, []))
+
+
+class TestNonMcLsa:
+    def test_flag_is_false(self):
+        wrapper = NonMcLsa(0, lsa(0, 1, []))
+        assert wrapper.is_mc is False
+        assert wrapper.description.origin == 0

@@ -1,0 +1,181 @@
+"""Tests for nodal events: switch failure and recovery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    DgmcNetwork,
+    JoinEvent,
+    NodeEvent,
+    ProtocolConfig,
+)
+from repro.dataplane import ForwardingEngine, McPacket
+from repro.lsr import spf
+from repro.topo.generators import grid_network, ring_network, waxman_network
+from repro.trees.algorithms import dominant_members
+
+
+class TestDominantMembers:
+    def test_connected_members_all_kept(self):
+        adj = spf.network_adjacency(grid_network(3, 3))
+        assert dominant_members(adj, frozenset({0, 4, 8})) == frozenset({0, 4, 8})
+
+    def test_largest_component_wins(self):
+        net = grid_network(1, 5)
+        net.set_link_state(1, 2, up=False)
+        adj = spf.network_adjacency(net)
+        # components of members: {0, 1} vs {3, 4}: tie -> smallest min id
+        assert dominant_members(adj, frozenset({0, 1, 3, 4})) == frozenset({0, 1})
+        # {3, 4} larger than {0}
+        assert dominant_members(adj, frozenset({0, 3, 4})) == frozenset({3, 4})
+
+    def test_ghost_anchor_does_not_strand_live_members(self):
+        # member 0 is isolated (dead); the live pair must still be served.
+        adj = {0: {}, 1: {2: 1.0}, 2: {1: 1.0}}
+        assert dominant_members(adj, frozenset({0, 1, 2})) == frozenset({1, 2})
+
+    def test_empty(self):
+        assert dominant_members({}, frozenset()) == frozenset()
+
+
+def deployment(net=None):
+    dgmc = DgmcNetwork(
+        net or ring_network(6),
+        ProtocolConfig(compute_time=0.5, per_hop_delay=0.05),
+    )
+    dgmc.register_symmetric(1)
+    return dgmc
+
+
+class TestNodeFailure:
+    def test_dead_switch_hears_nothing(self):
+        dgmc = deployment()
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(NodeEvent(3, up=False), at=50.0)
+        dgmc.inject(JoinEvent(1, 1), at=100.0)
+        dgmc.run()
+        # switch 3 never saw the second join
+        state3 = dgmc.switches[3].states[1]
+        assert state3.member_set == frozenset({0})
+
+    def test_events_at_dead_switch_rejected(self):
+        dgmc = deployment()
+        dgmc.inject(NodeEvent(3, up=False), at=10.0)
+        dgmc.inject(JoinEvent(3, 1), at=20.0)
+        with pytest.raises(ValueError, match="failed"):
+            dgmc.run()
+
+    def test_tree_routes_around_dead_relay(self):
+        # ring: members 0 and 2; relay 1 dies; tree must take the long way
+        dgmc = deployment(net=ring_network(6))
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(2, 1), at=30.0)
+        dgmc.run()
+        tree = dgmc.states_for(1)[0].installed.shared_tree
+        assert (0, 1) in tree.edges and (1, 2) in tree.edges
+        dgmc.inject(NodeEvent(1, up=False), at=100.0)
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        tree = dgmc.states_for(1)[0].installed.shared_tree
+        assert all(1 not in e for e in tree.edges)
+        tree.validate({0, 2})
+
+    def test_dead_member_becomes_ghost_but_live_members_served(self):
+        dgmc = deployment(net=ring_network(6))
+        for i, sw in enumerate([0, 2, 4]):
+            dgmc.inject(JoinEvent(sw, 1), at=10.0 * (i + 1))
+        dgmc.run()
+        dgmc.inject(NodeEvent(2, up=False), at=100.0)
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        state = dgmc.states_for(1)[0]
+        # ghost membership lingers (nobody leaves on the dead switch's behalf)
+        assert 2 in state.members
+        # but the installed tree serves the live members only
+        tree = state.installed.shared_tree
+        assert tree.spans({0, 4})
+        assert all(2 not in e for e in tree.edges)
+
+    def test_double_failure_is_idempotent(self):
+        dgmc = deployment()
+        dgmc.inject(NodeEvent(3, up=False), at=10.0)
+        dgmc.inject(NodeEvent(3, up=False), at=20.0)
+        dgmc.run()
+        assert dgmc.dead_switches == {3}
+
+    def test_unicast_reroutes_around_dead_switch(self):
+        dgmc = deployment(net=ring_network(5))
+        dgmc.inject(NodeEvent(1, up=False), at=10.0)
+        dgmc.run()
+        # 0's route to 2 must now go the long way (via 4, 3)
+        assert dgmc.routers[0].next_hop(2) == 4
+
+
+class TestNodeRecovery:
+    def test_recovery_restores_links_and_database(self):
+        dgmc = deployment(net=ring_network(5))
+        dgmc.inject(NodeEvent(1, up=False), at=10.0)
+        dgmc.inject(NodeEvent(1, up=True), at=100.0)
+        dgmc.run()
+        assert not dgmc.dead_switches
+        assert dgmc.net.link(0, 1).up and dgmc.net.link(1, 2).up
+        assert dgmc.routers[0].next_hop(2) == 1  # short route again
+
+    def test_ghost_member_resynchronizes_after_revival(self):
+        dgmc = deployment(net=ring_network(6))
+        for i, sw in enumerate([0, 2, 4]):
+            dgmc.inject(JoinEvent(sw, 1), at=10.0 * (i + 1))
+        dgmc.run()
+        dgmc.inject(NodeEvent(2, up=False), at=100.0)
+        dgmc.run()
+        dgmc.inject(NodeEvent(2, up=True), at=200.0)
+        dgmc.run()
+        # a post-revival membership event re-synchronizes everyone
+        dgmc.inject(JoinEvent(5, 1), at=300.0)
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        tree = dgmc.states_for(1)[0].installed.shared_tree
+        tree.validate({0, 4, 5})
+
+    def test_recovery_without_failure_is_noop(self):
+        dgmc = deployment()
+        before = dgmc.fabric.total_floods
+        dgmc.inject(NodeEvent(3, up=True), at=10.0)
+        dgmc.run()
+        assert dgmc.fabric.total_floods == before
+
+
+class TestDataPlaneAroundDeadSwitch:
+    def test_delivery_after_relay_death(self, rng):
+        net = waxman_network(20, rng)
+        dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05))
+        dgmc.register_symmetric(1)
+        members = [0, 7, 13]
+        for i, sw in enumerate(members):
+            dgmc.inject(JoinEvent(sw, 1), at=10.0 * (i + 1))
+        dgmc.run()
+        tree = dgmc.states_for(1)[0].installed.shared_tree
+        relays = sorted(tree.nodes() - set(members))
+        victim = None
+        for candidate in relays:
+            probe = dgmc.net.copy()
+            for nbr in probe.neighbors(candidate):
+                probe.set_link_state(candidate, nbr, False)
+            dist = probe.hop_distances(members[0])
+            if all(m in dist for m in members[1:]):
+                victim = candidate
+                break
+        if victim is None:
+            pytest.skip("no relay whose death keeps members connected")
+        dgmc.inject(NodeEvent(victim, up=False), at=200.0)
+        dgmc.run()
+        engine = ForwardingEngine(dgmc)
+        record = engine.send(McPacket(members[0], 1), at=300.0)
+        dgmc.run()
+        assert record.delivered.keys() >= set(members) - {victim}

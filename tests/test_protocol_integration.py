@@ -1,0 +1,271 @@
+"""Network-wide integration tests: the DESIGN.md invariants end-to-end."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    DgmcNetwork,
+    JoinEvent,
+    LeaveEvent,
+    LinkEvent,
+    ProtocolConfig,
+)
+from repro.topo.generators import grid_network, waxman_network
+
+
+def make_dgmc(net, **kw):
+    kw.setdefault("compute_time", 0.5)
+    kw.setdefault("per_hop_delay", 0.05)
+    return DgmcNetwork(net, ProtocolConfig(**kw))
+
+
+def check_invariants(dgmc, connection_id):
+    """DESIGN.md invariants 2-3: agreement + valid spanning tree."""
+    assert dgmc.quiescent()
+    ok, detail = dgmc.agreement(connection_id)
+    assert ok, detail
+    states = dgmc.states_for(connection_id)
+    if not states:
+        return
+    state = states[min(states)]
+    if not state.members:
+        return
+    up_edges = {link.key for link in dgmc.net.links()}
+    for _, tree in state.installed.trees:
+        tree.validate(state.member_set if tree.root is None else None)
+        assert tree.edges <= up_edges, "installed tree uses a down link"
+
+
+class TestSparseWorkloads:
+    def test_exactly_one_computation_and_flood_per_event(self, rng):
+        net = waxman_network(30, rng)
+        dgmc = make_dgmc(net)
+        dgmc.register_symmetric(1)
+        switches = rng.sample(range(30), 6)
+        for i, sw in enumerate(switches):
+            dgmc.inject(JoinEvent(sw, 1), at=100.0 * (i + 1))
+        dgmc.run()
+        check_invariants(dgmc, 1)
+        assert dgmc.total_computations() == 6
+        assert dgmc.mc_floodings() == 6
+
+    def test_join_leave_churn(self, rng):
+        net = waxman_network(25, rng)
+        dgmc = make_dgmc(net)
+        dgmc.register_symmetric(1)
+        t = 100.0
+        members = set()
+        for _ in range(15):
+            absent = [x for x in range(25) if x not in members]
+            if absent and (len(members) < 2 or rng.random() < 0.6):
+                sw = rng.choice(absent)
+                dgmc.inject(JoinEvent(sw, 1), at=t)
+                members.add(sw)
+            else:
+                sw = rng.choice(sorted(members))
+                dgmc.inject(LeaveEvent(sw, 1), at=t)
+                members.remove(sw)
+            t += 100.0
+        dgmc.run()
+        check_invariants(dgmc, 1)
+        if members:
+            assert dgmc.states_for(1)[0].member_set == frozenset(members)
+
+
+class TestBurstyWorkloads:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_bursts_converge_and_agree(self, seed):
+        rng = random.Random(seed)
+        net = waxman_network(30, rng)
+        dgmc = make_dgmc(net)
+        dgmc.register_symmetric(1)
+        for sw in rng.sample(range(30), 8):
+            dgmc.inject(JoinEvent(sw, 1), at=1.0 + rng.random())
+        dgmc.run()
+        check_invariants(dgmc, 1)
+        assert dgmc.states_for(1)[0].member_set == frozenset(
+            dgmc.states_for(1)[29].member_set
+        )
+
+    def test_burst_cost_well_below_brute_force(self, rng):
+        n = 40
+        net = waxman_network(n, rng)
+        dgmc = make_dgmc(net)
+        dgmc.register_symmetric(1)
+        k = 8
+        for sw in rng.sample(range(n), k):
+            dgmc.inject(JoinEvent(sw, 1), at=1.0 + rng.random() * 2)
+        dgmc.run()
+        check_invariants(dgmc, 1)
+        # brute force would cost n per event; D-GMC stays far below
+        assert dgmc.total_computations() < 0.5 * n * k
+
+    def test_interleaved_joins_and_leaves_in_burst(self, rng):
+        net = waxman_network(20, rng)
+        dgmc = make_dgmc(net)
+        dgmc.register_symmetric(1)
+        for i, sw in enumerate([3, 7, 11, 15]):
+            dgmc.inject(JoinEvent(sw, 1), at=50.0 * (i + 1))
+        dgmc.run()
+        # burst: two leaves and two joins nearly simultaneous
+        dgmc.inject(LeaveEvent(3, 1), at=300.0)
+        dgmc.inject(LeaveEvent(7, 1), at=300.1)
+        dgmc.inject(JoinEvent(2, 1), at=300.2)
+        dgmc.inject(JoinEvent(9, 1), at=300.3)
+        dgmc.run()
+        check_invariants(dgmc, 1)
+        assert dgmc.states_for(1)[0].member_set == frozenset({11, 15, 2, 9})
+
+
+class TestMultipleConnections:
+    def test_connections_are_independent(self, rng):
+        net = waxman_network(25, rng)
+        dgmc = make_dgmc(net)
+        dgmc.register_symmetric(1)
+        dgmc.register_receiver_only(2)
+        for i, sw in enumerate([2, 6, 10]):
+            dgmc.inject(JoinEvent(sw, 1), at=100.0 * (i + 1))
+        dgmc.run()
+        comps_conn1 = dgmc.total_computations()
+        for i, sw in enumerate([4, 8]):
+            dgmc.inject(JoinEvent(sw, 2), at=1000.0 + 100.0 * (i + 1))
+        dgmc.run()
+        check_invariants(dgmc, 1)
+        check_invariants(dgmc, 2)
+        # connection 2's events triggered no recomputation for connection 1
+        conn1_comps = [r for r in dgmc.computation_log if r.connection_id == 1]
+        assert len(conn1_comps) == comps_conn1
+
+    def test_shared_link_failure_affects_both(self, rng):
+        from repro.topo.generators import ring_network
+
+        net = ring_network(4)  # neighbors 0-1-2: both trees share links
+        dgmc = make_dgmc(net)
+        dgmc.register_symmetric(1)
+        dgmc.register_symmetric(2)
+        for m in (1, 2):
+            dgmc.inject(JoinEvent(0, m), at=10.0 * m)
+            dgmc.inject(JoinEvent(2, m), at=10.0 * m + 5.0)
+        dgmc.run()
+        before = dgmc.mc_event_count
+        tree1 = dgmc.states_for(1)[0].installed.shared_tree
+        tree2 = dgmc.states_for(2)[0].installed.shared_tree
+        shared = sorted(tree1.edges & tree2.edges)
+        assert shared, "test premise: trees share a link"
+        u, v = shared[0]
+        dgmc.inject(LinkEvent(u, u, v, up=False), at=100.0)
+        dgmc.run()
+        # Figure 2: one link event -> one MC event per affected connection
+        assert dgmc.mc_event_count == before + 2
+
+
+class TestLsaAccounting:
+    def test_membership_event_floods_exactly_one_event_lsa(self, rng):
+        """DESIGN.md invariant 4 (event LSAs; proposals are extra)."""
+        net = waxman_network(20, rng)
+        dgmc = make_dgmc(net)
+        dgmc.register_symmetric(1)
+        for i, sw in enumerate([1, 5, 9]):
+            dgmc.inject(JoinEvent(sw, 1), at=100.0 * (i + 1))
+        dgmc.run()
+        event_lsas = sum(sw.event_lsas_flooded for sw in dgmc.switches.values())
+        assert event_lsas == 3
+
+    def test_link_event_floods_one_non_mc_plus_one_per_connection(self, rng):
+        from repro.topo.generators import ring_network
+
+        net = ring_network(4)
+        dgmc = make_dgmc(net)
+        dgmc.register_symmetric(1)
+        dgmc.register_symmetric(2)
+        for m in (1, 2):
+            dgmc.inject(JoinEvent(0, m), at=10.0 * m)
+            dgmc.inject(JoinEvent(1, m), at=10.0 * m + 5)
+        dgmc.run()
+        non_mc_before = dgmc.fabric.count_for("non-mc")
+        event_lsas_before = sum(
+            sw.event_lsas_flooded for sw in dgmc.switches.values()
+        )
+        # both trees are exactly the (0,1) edge
+        dgmc.inject(LinkEvent(0, 0, 1, up=False), at=100.0)
+        dgmc.run()
+        assert dgmc.fabric.count_for("non-mc") == non_mc_before + 1
+        event_lsas = sum(sw.event_lsas_flooded for sw in dgmc.switches.values())
+        assert event_lsas == event_lsas_before + 2  # one MC LSA per connection
+
+
+class TestFaultTolerance:
+    def test_sequential_link_failures(self, rng):
+        net = waxman_network(20, rng)
+        dgmc = make_dgmc(net)
+        dgmc.register_symmetric(1)
+        for i, sw in enumerate([0, 5, 10, 15]):
+            dgmc.inject(JoinEvent(sw, 1), at=50.0 * (i + 1))
+        dgmc.run()
+        check_invariants(dgmc, 1)
+        # fail two tree links in sequence (keeping the network connected)
+        for round_idx in range(2):
+            tree = dgmc.states_for(1)[0].installed.shared_tree
+            for edge in sorted(tree.edges):
+                candidate = dgmc.net.copy()
+                candidate.set_link_state(*edge, up=False)
+                if candidate.is_connected():
+                    dgmc.inject(
+                        LinkEvent(edge[0], *edge, up=False),
+                        at=dgmc.sim.now + 100.0,
+                    )
+                    break
+            else:
+                pytest.skip("no safely removable tree edge")
+            dgmc.run()
+            check_invariants(dgmc, 1)
+
+    def test_failure_concurrent_with_membership_burst(self, rng):
+        net = waxman_network(20, rng)
+        dgmc = make_dgmc(net)
+        dgmc.register_symmetric(1)
+        for i, sw in enumerate([0, 5, 10]):
+            dgmc.inject(JoinEvent(sw, 1), at=50.0 * (i + 1))
+        dgmc.run()
+        tree = dgmc.states_for(1)[0].installed.shared_tree
+        edge = None
+        for e in sorted(tree.edges):
+            candidate = dgmc.net.copy()
+            candidate.set_link_state(*e, up=False)
+            if candidate.is_connected():
+                edge = e
+                break
+        if edge is None:
+            pytest.skip("no safely removable tree edge")
+        t = dgmc.sim.now + 100.0
+        dgmc.inject(LinkEvent(edge[0], *edge, up=False), at=t)
+        dgmc.inject(JoinEvent(15, 1), at=t + 0.01)
+        dgmc.inject(LeaveEvent(5, 1), at=t + 0.02)
+        dgmc.run()
+        check_invariants(dgmc, 1)
+        assert dgmc.states_for(1)[0].member_set == frozenset({0, 10, 15})
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_outcomes(self):
+        def run_once():
+            rng = random.Random(77)
+            net = waxman_network(20, rng)
+            dgmc = make_dgmc(net)
+            dgmc.register_symmetric(1)
+            for sw in rng.sample(range(20), 6):
+                dgmc.inject(JoinEvent(sw, 1), at=1.0 + rng.random())
+            dgmc.run()
+            state = dgmc.states_for(1)[0]
+            return (
+                dgmc.total_computations(),
+                dgmc.mc_floodings(),
+                state.current_stamp,
+                state.installed,
+                dgmc.sim.now,
+            )
+
+        assert run_once() == run_once()

@@ -1,0 +1,164 @@
+"""Tests for mailboxes: FIFO delivery, blocking receive, timeouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.mailbox import Mailbox, MailboxClosed
+from repro.sim.process import Hold, Receive
+
+
+class TestBasics:
+    def test_send_then_receive_preserves_fifo(self, sim):
+        box = Mailbox(sim)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield Receive(box)))
+
+        for i in range(3):
+            box.send(i)
+        sim.spawn(consumer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_receive_blocks_until_send(self, sim):
+        box = Mailbox(sim)
+        got = []
+
+        def consumer():
+            got.append(((yield Receive(box)), sim.now))
+
+        sim.spawn(consumer())
+        sim.schedule(5.0, lambda: box.send("late"))
+        sim.run()
+        assert got == [("late", 5.0)]
+
+    def test_multiple_receivers_served_in_arrival_order(self, sim):
+        box = Mailbox(sim)
+        got = []
+
+        def consumer(name):
+            got.append((name, (yield Receive(box))))
+
+        sim.spawn(consumer("first"))
+        sim.spawn(consumer("second"))
+        sim.schedule(1.0, lambda: box.send("a"))
+        sim.schedule(2.0, lambda: box.send("b"))
+        sim.run()
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_len_and_empty(self, sim):
+        box = Mailbox(sim)
+        assert box.empty
+        assert len(box) == 0
+        box.send(1)
+        assert not box.empty
+        assert len(box) == 1
+
+    def test_mailbox_is_truthy_even_when_empty(self, sim):
+        box = Mailbox(sim)
+        assert bool(box) is True
+
+    def test_peek_all_does_not_consume(self, sim):
+        box = Mailbox(sim)
+        box.send("x")
+        box.send("y")
+        assert box.peek_all() == ["x", "y"]
+        assert len(box) == 2
+
+
+class TestTryReceive:
+    def test_try_receive_nonempty(self, sim):
+        box = Mailbox(sim)
+        box.send(7)
+        ok, value = box.try_receive()
+        assert ok and value == 7
+        assert box.empty
+
+    def test_try_receive_empty(self, sim):
+        box = Mailbox(sim)
+        ok, value = box.try_receive()
+        assert not ok and value is None
+
+
+class TestTimeout:
+    def test_receive_timeout_fires(self, sim):
+        box = Mailbox(sim)
+        got = []
+
+        def consumer():
+            value = yield Receive(box, timeout=3.0)
+            got.append((value is Receive.TIMED_OUT, sim.now))
+
+        sim.spawn(consumer())
+        sim.run()
+        assert got == [(True, 3.0)]
+
+    def test_message_before_timeout_wins(self, sim):
+        box = Mailbox(sim)
+        got = []
+
+        def consumer():
+            value = yield Receive(box, timeout=3.0)
+            got.append((value, sim.now))
+
+        sim.spawn(consumer())
+        sim.schedule(1.0, lambda: box.send("fast"))
+        sim.run()
+        assert got == [("fast", 1.0)]
+        # the timeout must not fire later
+        assert sim.now == pytest.approx(3.0, abs=3.0)
+
+    def test_timed_out_receiver_not_served_later(self, sim):
+        box = Mailbox(sim)
+        got = []
+
+        def impatient():
+            value = yield Receive(box, timeout=1.0)
+            got.append(("impatient", value is Receive.TIMED_OUT))
+
+        def patient():
+            value = yield Receive(box)
+            got.append(("patient", value))
+
+        sim.spawn(impatient())
+        sim.spawn(patient())
+        sim.schedule(5.0, lambda: box.send("msg"))
+        sim.run()
+        assert ("impatient", True) in got
+        assert ("patient", "msg") in got
+
+
+class TestClose:
+    def test_send_to_closed_raises(self, sim):
+        box = Mailbox(sim)
+        box.close()
+        with pytest.raises(MailboxClosed):
+            box.send(1)
+
+    def test_queued_messages_survive_close(self, sim):
+        box = Mailbox(sim)
+        box.send("kept")
+        box.close()
+        ok, value = box.try_receive()
+        assert ok and value == "kept"
+
+
+class TestCounters:
+    def test_sent_and_delivered_counts(self, sim):
+        box = Mailbox(sim)
+        got = []
+
+        def consumer():
+            while True:
+                got.append((yield Receive(box)))
+
+        sim.spawn(consumer())
+        for i in range(4):
+            box.send(i)
+        sim.run()
+        assert box.sent_count == 4
+        assert box.delivered_count == 4
+        assert got == [0, 1, 2, 3]

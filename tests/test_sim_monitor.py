@@ -1,0 +1,151 @@
+"""Tests for statistics collection: Table (Welford/Chan) and Meter."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import Meter, Table, t_quantile_975
+from repro.sim.process import Hold
+
+
+class TestTable:
+    def test_empty_table(self):
+        t = Table("x")
+        assert t.count == 0
+        assert t.mean == 0.0
+        assert t.variance == 0.0
+        assert t.confidence_halfwidth() == 0.0
+
+    def test_single_observation(self):
+        t = Table()
+        t.record(5.0)
+        assert t.mean == 5.0
+        assert t.variance == 0.0
+        assert t.minimum == t.maximum == 5.0
+
+    def test_known_sample(self):
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        t = Table()
+        for v in data:
+            t.record(v)
+        assert t.mean == pytest.approx(statistics.mean(data))
+        assert t.variance == pytest.approx(statistics.variance(data))
+        assert t.stdev == pytest.approx(statistics.stdev(data))
+        assert t.minimum == 2.0
+        assert t.maximum == 9.0
+
+    def test_confidence_interval_matches_formula(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        t = Table()
+        for v in data:
+            t.record(v)
+        expected_hw = t_quantile_975(4) * statistics.stdev(data) / math.sqrt(5)
+        assert t.confidence_halfwidth() == pytest.approx(expected_hw)
+        low, high = t.confidence_interval()
+        assert low == pytest.approx(3.0 - expected_hw)
+        assert high == pytest.approx(3.0 + expected_hw)
+
+    def test_unsupported_level_rejected(self):
+        t = Table()
+        t.record(1.0)
+        t.record(2.0)
+        with pytest.raises(ValueError):
+            t.confidence_halfwidth(level=0.99)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    def test_welford_matches_statistics_module(self, data):
+        t = Table()
+        for v in data:
+            t.record(v)
+        assert t.mean == pytest.approx(statistics.mean(data), rel=1e-9, abs=1e-6)
+        assert t.variance == pytest.approx(
+            statistics.variance(data), rel=1e-6, abs=1e-4
+        )
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50),
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50),
+    )
+    def test_merge_equals_concatenation(self, a, b):
+        t1 = Table()
+        for v in a:
+            t1.record(v)
+        t2 = Table()
+        for v in b:
+            t2.record(v)
+        t1.merge(t2)
+        combined = Table()
+        for v in a + b:
+            combined.record(v)
+        assert t1.count == combined.count
+        assert t1.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-9)
+        assert t1.variance == pytest.approx(combined.variance, rel=1e-6, abs=1e-6)
+        assert t1.minimum == combined.minimum
+        assert t1.maximum == combined.maximum
+
+    def test_merge_into_empty(self):
+        t1 = Table()
+        t2 = Table()
+        t2.record(3.0)
+        t1.merge(t2)
+        assert t1.count == 1
+        assert t1.mean == 3.0
+
+    def test_merge_empty_is_noop(self):
+        t1 = Table()
+        t1.record(1.0)
+        t1.merge(Table())
+        assert t1.count == 1
+
+
+class TestTQuantile:
+    def test_small_dof_values(self):
+        assert t_quantile_975(1) == pytest.approx(12.706)
+        assert t_quantile_975(9) == pytest.approx(2.262)
+
+    def test_large_dof_uses_normal(self):
+        assert t_quantile_975(1000) == pytest.approx(1.96)
+
+    def test_monotone_decreasing(self):
+        values = [t_quantile_975(d) for d in range(1, 40)]
+        assert values == sorted(values, reverse=True)
+
+    def test_scipy_agreement(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for dof in (1, 5, 10, 25, 30):
+            expected = scipy_stats.t.ppf(0.975, dof)
+            assert t_quantile_975(dof) == pytest.approx(expected, abs=5e-3)
+
+
+class TestMeter:
+    def test_rate(self):
+        sim = Simulator()
+        meter = Meter(sim, "floods")
+
+        def body():
+            for _ in range(5):
+                yield Hold(2.0)
+                meter.tick()
+
+        sim.spawn(body())
+        sim.run()
+        assert meter.count == 5
+        assert meter.rate() == pytest.approx(0.5)
+
+    def test_rate_zero_elapsed(self):
+        sim = Simulator()
+        meter = Meter(sim)
+        meter.tick(3)
+        assert meter.rate() == 0.0
+
+    def test_reset(self):
+        sim = Simulator()
+        meter = Meter(sim)
+        meter.tick(10)
+        meter.reset()
+        assert meter.count == 0

@@ -1,0 +1,127 @@
+"""Property-based tests of the simulation kernel itself."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import Simulator
+from repro.sim.mailbox import Mailbox
+from repro.sim.process import Hold, Receive
+from repro.sim.resource import Facility
+
+
+class TestEventOrdering:
+    @given(st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_dispatch_times_nondecreasing(self, delays):
+        sim = Simulator()
+        seen = []
+        for d in delays:
+            sim.schedule(d, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 100.0), st.integers(0, 50)),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cancellation_removes_exactly_the_cancelled(self, spec):
+        sim = Simulator()
+        fired = []
+        entries = []
+        for i, (delay, _) in enumerate(spec):
+            entries.append((i, sim.schedule(delay, lambda i=i: fired.append(i))))
+        cancelled = {i for i, (_, tag) in enumerate(spec) if tag % 3 == 0}
+        for i, entry in entries:
+            if i in cancelled:
+                entry.cancel()
+        sim.run()
+        assert set(fired) == set(range(len(spec))) - cancelled
+
+
+class TestMailboxProperties:
+    @given(st.lists(st.integers(), max_size=60), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_all_messages_delivered_exactly_once(self, messages, consumers):
+        sim = Simulator()
+        box = Mailbox(sim)
+        got = []
+
+        def consumer():
+            while True:
+                got.append((yield Receive(box)))
+
+        for _ in range(consumers):
+            sim.spawn(consumer())
+        for i, m in enumerate(messages):
+            sim.schedule(float(i), lambda m=m: box.send(m))
+        sim.run()
+        assert sorted(map(repr, got)) == sorted(map(repr, messages))
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_single_consumer_preserves_order(self, messages):
+        sim = Simulator()
+        box = Mailbox(sim)
+        got = []
+
+        def consumer():
+            while True:
+                got.append((yield Receive(box)))
+
+        sim.spawn(consumer())
+        for m in messages:
+            box.send(m)
+        sim.run()
+        assert got == messages
+
+
+class TestFacilityProperties:
+    @given(
+        st.lists(st.floats(0.1, 5.0), min_size=1, max_size=30),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_never_exceeded(self, services, capacity):
+        sim = Simulator()
+        fac = Facility(sim, capacity=capacity)
+        concurrent = [0]
+        peak = [0]
+
+        def worker(service):
+            yield fac.request()
+            concurrent[0] += 1
+            peak[0] = max(peak[0], concurrent[0])
+            yield Hold(service)
+            concurrent[0] -= 1
+            fac.release()
+
+        for s in services:
+            sim.spawn(worker(s))
+        sim.run()
+        assert peak[0] <= capacity
+        assert fac.completions == len(services)
+        assert concurrent[0] == 0
+
+    @given(st.lists(st.floats(0.1, 3.0), min_size=2, max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_single_server_time_is_sum_of_services(self, services):
+        sim = Simulator()
+        fac = Facility(sim)
+
+        def worker(service):
+            yield fac.request()
+            yield Hold(service)
+            fac.release()
+
+        for s in services:
+            sim.spawn(worker(s))
+        end = sim.run()
+        assert end == sum(services) or abs(end - sum(services)) < 1e-9

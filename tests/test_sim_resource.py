@@ -1,0 +1,107 @@
+"""Tests for facilities: capacity, FIFO queueing, utilization accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import SimulationError
+from repro.sim.process import Hold
+from repro.sim.resource import Facility
+
+
+def worker(sim, facility, trace, name, service):
+    yield facility.request()
+    trace.append(("start", name, sim.now))
+    yield Hold(service)
+    facility.release()
+    trace.append(("end", name, sim.now))
+
+
+class TestSingleServer:
+    def test_serialization(self, sim):
+        fac = Facility(sim)
+        trace = []
+        for name in ("a", "b", "c"):
+            sim.spawn(worker(sim, fac, trace, name, 2.0))
+        sim.run()
+        starts = [t for kind, _, t in trace if kind == "start"]
+        assert starts == [0.0, 2.0, 4.0]
+
+    def test_fifo_order(self, sim):
+        fac = Facility(sim)
+        trace = []
+
+        def late_spawner():
+            yield Hold(0.5)
+            sim.spawn(worker(sim, fac, trace, "late", 1.0))
+
+        sim.spawn(worker(sim, fac, trace, "first", 2.0))
+        sim.spawn(worker(sim, fac, trace, "second", 1.0))
+        sim.spawn(late_spawner())
+        sim.run()
+        order = [n for kind, n, _ in trace if kind == "start"]
+        assert order == ["first", "second", "late"]
+
+    def test_busy_flag_and_queue_length(self, sim):
+        fac = Facility(sim)
+        trace = []
+        sim.spawn(worker(sim, fac, trace, "a", 5.0))
+        sim.spawn(worker(sim, fac, trace, "b", 5.0))
+        sim.run(until=1.0)
+        assert fac.busy
+        assert fac.in_use == 1
+        assert fac.queue_length == 1
+
+    def test_completions_counted(self, sim):
+        fac = Facility(sim)
+        trace = []
+        for name in "abc":
+            sim.spawn(worker(sim, fac, trace, name, 1.0))
+        sim.run()
+        assert fac.completions == 3
+
+
+class TestMultiServer:
+    def test_capacity_two_runs_pairs(self, sim):
+        fac = Facility(sim, capacity=2)
+        trace = []
+        for name in ("a", "b", "c"):
+            sim.spawn(worker(sim, fac, trace, name, 2.0))
+        sim.run()
+        starts = sorted(t for kind, _, t in trace if kind == "start")
+        assert starts == [0.0, 0.0, 2.0]
+
+    def test_invalid_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Facility(sim, capacity=0)
+
+
+class TestRelease:
+    def test_release_idle_raises(self, sim):
+        fac = Facility(sim)
+        with pytest.raises(SimulationError):
+            fac.release()
+
+
+class TestUtilization:
+    def test_utilization_half_busy(self, sim):
+        fac = Facility(sim)
+        trace = []
+        sim.spawn(worker(sim, fac, trace, "a", 5.0))
+
+        def idle_until_ten():
+            yield Hold(10.0)
+
+        sim.spawn(idle_until_ten())
+        sim.run()
+        assert fac.utilization() == pytest.approx(0.5)
+
+    def test_utilization_zero_when_unused(self, sim):
+        fac = Facility(sim)
+
+        def tick():
+            yield Hold(4.0)
+
+        sim.spawn(tick())
+        sim.run()
+        assert fac.utilization() == 0.0

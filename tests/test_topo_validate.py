@@ -1,0 +1,45 @@
+"""Tests for topology validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topo.graph import Network
+from repro.topo.validate import TopologyError, validate_network
+
+
+def test_valid_network_passes():
+    net = Network(3)
+    net.add_link(0, 1)
+    net.add_link(1, 2)
+    validate_network(net)
+
+
+def test_disconnected_rejected():
+    net = Network(3)
+    net.add_link(0, 1)
+    with pytest.raises(TopologyError, match="not connected"):
+        validate_network(net)
+
+
+def test_disconnected_allowed_when_not_required():
+    net = Network(3)
+    net.add_link(0, 1)
+    validate_network(net, require_connected=False)
+
+
+def test_down_links_break_connectivity():
+    net = Network(3)
+    net.add_link(0, 1)
+    net.add_link(1, 2)
+    net.set_link_state(1, 2, up=False)
+    with pytest.raises(TopologyError):
+        validate_network(net)
+
+
+def test_mutated_delay_caught():
+    net = Network(2)
+    link = net.add_link(0, 1)
+    link.delay = -1.0  # direct mutation bypassing add_link's check
+    with pytest.raises(TopologyError, match="delay"):
+        validate_network(net, require_connected=False)

@@ -1,0 +1,134 @@
+"""Tests for delay-constrained shared trees (QoS)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lsr import spf
+from repro.topo.generators import grid_network, random_connected_network, waxman_network
+from repro.trees.base import TreeError, edge_weights
+from repro.trees.constrained import (
+    DelayBoundViolation,
+    delay_bounded_tree,
+    max_member_delay,
+    tree_delays,
+)
+from repro.trees.steiner import pruned_spt_steiner_tree
+
+
+def grid_adj():
+    return spf.network_adjacency(grid_network(4, 4))
+
+
+class TestDelayBoundedTree:
+    def test_bound_respected(self):
+        adj = grid_adj()
+        terminals = [0, 3, 12, 15]
+        tree = delay_bounded_tree(adj, terminals, bound=6.0)
+        tree.validate(terminals)
+        assert max_member_delay(tree, adj, anchor=0) <= 6.0 + 1e-9
+
+    def test_loose_bound_allows_cheap_tree(self, rng):
+        net = waxman_network(40, rng)
+        adj = spf.network_adjacency(net)
+        weights = edge_weights(adj)
+        terminals = rng.sample(range(40), 6)
+        loose = delay_bounded_tree(adj, terminals, bound=1e9)
+        tight_bound = max(
+            spf.dijkstra(adj, min(terminals))[0][t] for t in terminals
+        )
+        tight = delay_bounded_tree(adj, terminals, bound=tight_bound)
+        # a tight bound can only cost more (or equal)
+        assert tight.cost(weights) >= loose.cost(weights) - 1e-9
+        assert max_member_delay(tight, adj, min(terminals)) <= tight_bound + 1e-9
+
+    def test_infeasible_bound_raises(self):
+        adj = grid_adj()
+        with pytest.raises(DelayBoundViolation):
+            delay_bounded_tree(adj, [0, 15], bound=1.0)  # needs 6 hops
+
+    def test_unreachable_terminal_raises(self):
+        adj = {0: {1: 1.0}, 1: {0: 1.0}, 2: {}}
+        with pytest.raises(TreeError):
+            delay_bounded_tree(adj, [0, 2], bound=10.0)
+
+    def test_trivial_cases(self):
+        adj = grid_adj()
+        assert len(delay_bounded_tree(adj, [], bound=1.0).edges) == 0
+        single = delay_bounded_tree(adj, [5], bound=0.0)
+        assert single.members == frozenset({5})
+
+    def test_deterministic(self, rng):
+        net = waxman_network(30, rng)
+        adj = spf.network_adjacency(net)
+        a = delay_bounded_tree(adj, [3, 9, 15, 21], bound=5.0)
+        b = delay_bounded_tree(adj, [21, 15, 9, 3], bound=5.0)
+        assert a == b
+
+    def test_exact_feasibility_limit_works(self):
+        # bound exactly at the worst shortest-path delay: the SPT fallback
+        # (or greedy) must succeed.
+        adj = grid_adj()
+        terminals = [0, 15]
+        tree = delay_bounded_tree(adj, terminals, bound=6.0)
+        assert max_member_delay(tree, adj, 0) == pytest.approx(6.0)
+
+    @given(st.integers(4, 25), st.integers(0, 200), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_bound_always_respected(self, n, seed, k):
+        rng = random.Random(seed)
+        net = random_connected_network(n, rng)
+        adj = spf.network_adjacency(net)
+        terminals = rng.sample(range(n), min(k, n))
+        anchor = min(terminals)
+        dist, _ = spf.dijkstra(adj, anchor)
+        feasible = max(dist[t] for t in terminals)
+        bound = feasible * rng.uniform(1.0, 2.0)
+        tree = delay_bounded_tree(adj, terminals, bound=bound)
+        tree.validate(terminals)
+        assert max_member_delay(tree, adj, anchor) <= bound + 1e-9
+
+
+class TestTreeDelays:
+    def test_delays_along_tree(self):
+        adj = grid_adj()
+        tree = pruned_spt_steiner_tree(adj, [0, 5])
+        delays = tree_delays(tree, adj, anchor=0)
+        assert delays[0] == 0.0
+        assert delays[5] == pytest.approx(2.0)
+
+    def test_max_member_delay_empty(self):
+        from repro.trees.base import MulticastTree
+
+        assert max_member_delay(MulticastTree.empty(), {}, 0) == 0.0
+
+
+class TestProtocolIntegration:
+    def test_delay_bounded_connection(self):
+        from repro.core import DgmcNetwork, JoinEvent, ProtocolConfig
+        from repro.topo.generators import ring_network
+
+        net = ring_network(8)
+        dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=0.1))
+        dgmc.register_symmetric(
+            1,
+            algorithm="delay-bounded",
+            algorithm_options=(("delay_bound", 4.0),),
+        )
+        for i, sw in enumerate([0, 2, 4]):
+            dgmc.inject(JoinEvent(sw, 1), at=10.0 * (i + 1))
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        tree = dgmc.states_for(1)[0].installed.shared_tree
+        adj = spf.network_adjacency(net)
+        assert max_member_delay(tree, adj, anchor=0) <= 4.0 + 1e-9
+
+    def test_missing_bound_rejected(self):
+        from repro.trees.algorithms import SharedTreeAlgorithm
+
+        with pytest.raises(ValueError, match="delay_bound"):
+            SharedTreeAlgorithm(method="delay-bounded")

@@ -1,0 +1,95 @@
+"""Tests for source-rooted shortest-path trees."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lsr import spf
+from repro.topo.generators import grid_network, random_connected_network
+from repro.trees.base import TreeError
+from repro.trees.spt import prune_to_receivers, source_rooted_tree
+
+
+def grid_adj():
+    return spf.network_adjacency(grid_network(3, 3))
+
+
+class TestSourceRootedTree:
+    def test_tree_spans_source_and_receivers(self):
+        tree = source_rooted_tree(grid_adj(), 0, [8, 2])
+        tree.validate([0, 2, 8])
+        assert tree.root == 0
+
+    def test_paths_are_shortest(self):
+        adj = grid_adj()
+        tree = source_rooted_tree(adj, 0, [8])
+        # 0 -> 8 in a 3x3 grid costs 4 hops
+        assert len(tree.edges) == 4
+
+    def test_leaves_are_receivers(self):
+        adj = grid_adj()
+        tree = source_rooted_tree(adj, 0, [2, 6])
+        degree = {n: tree.degree(n) for n in tree.nodes()}
+        for node, deg in degree.items():
+            if deg == 1 and node != 0:
+                assert node in (2, 6)
+
+    def test_unreachable_receiver_raises(self):
+        adj = {0: {1: 1.0}, 1: {0: 1.0}, 2: {}}
+        with pytest.raises(TreeError, match="unreachable"):
+            source_rooted_tree(adj, 0, [2])
+
+    def test_empty_receivers(self):
+        tree = source_rooted_tree(grid_adj(), 4, [])
+        assert len(tree.edges) == 0
+        assert tree.members == frozenset({4})
+
+    def test_receiver_equal_to_source(self):
+        tree = source_rooted_tree(grid_adj(), 4, [4])
+        assert len(tree.edges) == 0
+
+    @given(st.integers(2, 30), st.integers(0, 500), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid_on_random_graphs(self, n, seed, k):
+        rng = random.Random(seed)
+        net = random_connected_network(n, rng)
+        adj = spf.network_adjacency(net)
+        receivers = rng.sample(range(n), min(k, n))
+        source = rng.randrange(n)
+        tree = source_rooted_tree(adj, source, receivers)
+        tree.validate(set(receivers) | {source})
+        assert tree.is_tree()
+
+
+class TestPrune:
+    def test_prune_removes_dangling_branch(self):
+        adj = grid_adj()
+        tree = source_rooted_tree(adj, 0, [2, 8])
+        pruned = prune_to_receivers(tree, [2])
+        pruned.validate([0, 2])
+        assert len(pruned.edges) == 2  # just the 0-1-2 path
+
+    def test_prune_keeps_root(self):
+        adj = grid_adj()
+        tree = source_rooted_tree(adj, 0, [8])
+        pruned = prune_to_receivers(tree, [])
+        # nothing left but the root itself
+        assert len(pruned.edges) == 0
+        assert pruned.root == 0
+
+    def test_prune_keeps_relay_members(self):
+        # receivers 1 (relay on the way to 2) stays even when 2 leaves
+        adj = {0: {1: 1.0}, 1: {0: 1.0, 2: 1.0}, 2: {1: 1.0}}
+        tree = source_rooted_tree(adj, 0, [1, 2])
+        pruned = prune_to_receivers(tree, [1])
+        assert pruned.edges == frozenset({(0, 1)})
+
+    def test_prune_is_idempotent(self):
+        adj = grid_adj()
+        tree = source_rooted_tree(adj, 0, [2, 8])
+        once = prune_to_receivers(tree, [2])
+        twice = prune_to_receivers(once, [2])
+        assert once.edges == twice.edges

@@ -1,0 +1,108 @@
+"""Tests for the Takahashi-Matsuyama shortest-path Steiner heuristic."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lsr import spf
+from repro.topo.generators import grid_network, random_connected_network, waxman_network
+from repro.trees.algorithms import SharedTreeAlgorithm
+from repro.trees.base import TreeError, edge_weights
+from repro.trees.steiner import (
+    kmb_steiner_tree,
+    pruned_spt_steiner_tree,
+    takahashi_matsuyama_tree,
+)
+
+
+def grid_adj():
+    return spf.network_adjacency(grid_network(3, 3))
+
+
+class TestTakahashiMatsuyama:
+    def test_spans_terminals(self, small_waxman):
+        adj = spf.network_adjacency(small_waxman)
+        tree = takahashi_matsuyama_tree(adj, [0, 5, 10, 15])
+        tree.validate([0, 5, 10, 15])
+        assert tree.is_tree()
+
+    def test_trivial_cases(self):
+        adj = grid_adj()
+        assert len(takahashi_matsuyama_tree(adj, []).edges) == 0
+        single = takahashi_matsuyama_tree(adj, [4])
+        assert len(single.edges) == 0
+        assert single.members == frozenset({4})
+
+    def test_two_terminals_is_shortest_path(self):
+        tree = takahashi_matsuyama_tree(grid_adj(), [0, 8])
+        weights = edge_weights(grid_adj())
+        assert tree.cost(weights) == pytest.approx(4.0)
+
+    def test_deterministic(self, small_waxman):
+        adj = spf.network_adjacency(small_waxman)
+        a = takahashi_matsuyama_tree(adj, [1, 6, 11, 16])
+        b = takahashi_matsuyama_tree(adj, [16, 11, 6, 1])
+        assert a == b
+
+    def test_unreachable_terminal_raises(self):
+        adj = {0: {1: 1.0}, 1: {0: 1.0}, 2: {}}
+        with pytest.raises(TreeError):
+            takahashi_matsuyama_tree(adj, [0, 2])
+
+    def test_usually_no_worse_than_pruned_spt(self, rng):
+        """TM is the stronger heuristic on average; verify over samples."""
+        wins = 0
+        total = 0
+        for seed in range(12):
+            net = waxman_network(40, random.Random(seed))
+            adj = spf.network_adjacency(net)
+            weights = edge_weights(adj)
+            terminals = random.Random(seed + 100).sample(range(40), 6)
+            tm_cost = takahashi_matsuyama_tree(adj, terminals).cost(weights)
+            spt_cost = pruned_spt_steiner_tree(adj, terminals).cost(weights)
+            total += 1
+            if tm_cost <= spt_cost + 1e-9:
+                wins += 1
+        assert wins >= 0.75 * total
+
+    def test_within_factor_two_of_kmb(self, small_waxman):
+        adj = spf.network_adjacency(small_waxman)
+        weights = edge_weights(adj)
+        terminals = [0, 4, 9, 13, 19]
+        tm_cost = takahashi_matsuyama_tree(adj, terminals).cost(weights)
+        kmb_cost = kmb_steiner_tree(adj, terminals).cost(weights)
+        assert tm_cost <= 2.0 * kmb_cost + 1e-9
+
+    @given(st.integers(3, 25), st.integers(0, 300), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_always_a_valid_tree(self, n, seed, k):
+        rng = random.Random(seed)
+        net = random_connected_network(n, rng)
+        adj = spf.network_adjacency(net)
+        terminals = rng.sample(range(n), min(k, n))
+        tree = takahashi_matsuyama_tree(adj, terminals)
+        tree.validate(terminals)
+        assert tree.is_tree()
+
+
+class TestFactoryIntegration:
+    def test_tm_method_available(self):
+        algo = SharedTreeAlgorithm(method="tm")
+        both = frozenset(("sender", "receiver"))
+        topo = algo.compute(grid_adj(), {0: both, 8: both, 2: both}, None)
+        topo.shared_tree.validate([0, 8, 2])
+
+    def test_tm_usable_in_protocol(self):
+        from repro.core import DgmcNetwork, JoinEvent, ProtocolConfig
+        from repro.topo.generators import ring_network
+
+        dgmc = DgmcNetwork(ring_network(6), ProtocolConfig(compute_time=0.1))
+        dgmc.register_symmetric(1, algorithm="tm")
+        dgmc.inject(JoinEvent(0, 1), at=1.0)
+        dgmc.inject(JoinEvent(3, 1), at=20.0)
+        dgmc.run()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail

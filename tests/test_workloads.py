@@ -1,0 +1,148 @@
+"""Tests for workload generation: feasibility, spacing, validation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.membership import (
+    MembershipSchedule,
+    ScheduledEvent,
+    bursty_schedule,
+    sparse_schedule,
+)
+from repro.workloads.scenario import Scenario
+from repro.workloads.traffic import datagram_schedule_after_events
+from repro.topo.generators import grid_network
+
+
+class TestBursty:
+    def test_events_inside_window(self, rng):
+        sched = bursty_schedule(20, rng, count=10, window=2.0, start=5.0)
+        assert len(sched.events) == 10
+        for ev in sched.events:
+            assert 5.0 <= ev.time <= 7.0
+
+    def test_chronological(self, rng):
+        sched = bursty_schedule(20, rng, count=15, window=1.0)
+        times = [ev.time for ev in sched.events]
+        assert times == sorted(times)
+
+    def test_validate_passes(self, rng):
+        bursty_schedule(10, rng, count=8, window=1.0).validate()
+
+    def test_initial_members_respected(self, rng):
+        init = frozenset({1, 2, 3})
+        sched = bursty_schedule(20, rng, count=5, initial_members=init)
+        assert sched.initial_members == init
+        sched.validate()
+
+    @given(st.integers(2, 30), st.integers(0, 500), st.integers(1, 25))
+    @settings(max_examples=30, deadline=None)
+    def test_always_feasible(self, n, seed, count):
+        sched = bursty_schedule(n, random.Random(seed), count=count)
+        sched.validate()  # raises on infeasibility
+
+
+class TestSparse:
+    def test_mean_gap_roughly_respected(self, rng):
+        sched = sparse_schedule(30, rng, count=200, mean_gap=10.0)
+        gaps = [
+            b.time - a.time for a, b in zip(sched.events, sched.events[1:])
+        ]
+        mean = sum(gaps) / len(gaps)
+        assert 7.0 < mean < 13.0
+
+    def test_validate_passes(self, rng):
+        sparse_schedule(15, rng, count=30).validate()
+
+    @given(st.integers(2, 20), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_always_feasible(self, n, seed):
+        sparse_schedule(n, random.Random(seed), count=15).validate()
+
+
+class TestScheduleModel:
+    def test_final_members(self):
+        sched = MembershipSchedule(
+            frozenset({0}),
+            [
+                ScheduledEvent(1.0, 1, True),
+                ScheduledEvent(2.0, 2, True),
+                ScheduledEvent(3.0, 0, False),
+            ],
+        )
+        assert sched.final_members() == frozenset({1, 2})
+        assert sched.span == 3.0
+
+    def test_validate_rejects_double_join(self):
+        sched = MembershipSchedule(
+            frozenset({0}),
+            [ScheduledEvent(1.0, 1, True), ScheduledEvent(2.0, 1, True)],
+        )
+        with pytest.raises(ValueError, match="joins twice"):
+            sched.validate()
+
+    def test_validate_rejects_absent_leave(self):
+        sched = MembershipSchedule(
+            frozenset({0}), [ScheduledEvent(1.0, 5, False)]
+        )
+        with pytest.raises(ValueError, match="absent"):
+            sched.validate()
+
+    def test_validate_rejects_emptying(self):
+        sched = MembershipSchedule(
+            frozenset({0}), [ScheduledEvent(1.0, 0, False)]
+        )
+        with pytest.raises(ValueError, match="empties"):
+            sched.validate()
+
+    def test_validate_rejects_disorder(self):
+        sched = MembershipSchedule(
+            frozenset({0}),
+            [ScheduledEvent(2.0, 1, True), ScheduledEvent(1.0, 2, True)],
+        )
+        with pytest.raises(ValueError, match="order"):
+            sched.validate()
+
+    def test_empty_schedule(self):
+        sched = MembershipSchedule(frozenset({0}), [])
+        assert sched.span == 0.0
+        sched.validate()
+
+
+class TestTraffic:
+    def test_one_datagram_per_sender_per_event(self):
+        sched = MembershipSchedule(
+            frozenset({0}),
+            [ScheduledEvent(1.0, 1, True), ScheduledEvent(5.0, 2, True)],
+        )
+        sends = datagram_schedule_after_events(sched, senders=[0, 1], gap=0.5)
+        assert sends == [(1.5, 0), (1.5, 1), (5.5, 0), (5.5, 1)]
+
+    def test_senders_deduplicated_and_sorted(self):
+        sched = MembershipSchedule(
+            frozenset({0}), [ScheduledEvent(1.0, 1, True)]
+        )
+        sends = datagram_schedule_after_events(sched, senders=[2, 0, 2], gap=1.0)
+        assert [s for _, s in sends] == [0, 2]
+
+
+class TestScenario:
+    def test_round_length(self):
+        net = grid_network(1, 4)
+        sched = MembershipSchedule(frozenset({0}), [])
+        sc = Scenario(
+            net=net, schedule=sched, compute_time=2.0, per_hop_delay=1.0
+        )
+        assert sc.flooding_diameter() == pytest.approx(3.0)
+        assert sc.round_length == pytest.approx(5.0)
+
+    def test_describe_mentions_key_facts(self):
+        net = grid_network(1, 4)
+        sched = MembershipSchedule(frozenset({0}), [])
+        sc = Scenario(net=net, schedule=sched, label="demo")
+        text = sc.describe()
+        assert "demo" in text and "n=4" in text
