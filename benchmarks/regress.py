@@ -1,0 +1,375 @@
+#!/usr/bin/env python
+"""Machine-readable benchmark harness with regression gating.
+
+Runs the experiment benchmarks under a wall clock, collects the paper's
+protocol counters plus the SPF cache counters, and writes a single
+``BENCH_<mode>.json`` that CI can parse and gate on -- unlike the
+free-text tables under ``benchmarks/results/``.
+
+Modes (``--mode`` or the ``--smoke`` shorthand):
+
+* ``quick`` -- tiny sizes, used by the unit tests (seconds),
+* ``smoke`` -- the CI gate: small sweep of every benchmark (< 1 min),
+* ``full``  -- paper-scale sweep sizes.
+
+Benchmarks:
+
+* ``exp1_churn`` / ``exp2_churn`` -- the membership-churn workloads of
+  Figures 6/7 (bursty joins/leaves; Tc- and Tf-dominated timing).
+* ``spf_substrate`` -- unicast substrate microbenchmark: routing tables
+  and repeated path queries on one network image.
+* ``cache_equivalence`` -- runs the exp1 churn workload twice, cache
+  enabled and disabled, and checks the **invariants** this repo's cache
+  layer must uphold: byte-identical installed topologies and a >= 2x
+  reduction in full Dijkstra executions.
+
+``--check`` compares against a committed baseline
+(``benchmarks/bench_baseline.json`` by default): wall time may regress at
+most ``--tolerance`` (relative), deterministic counters (Dijkstra runs,
+computations) at most ``--count-tolerance``.  Invariant violations fail
+regardless of the baseline.  ``--update-baseline`` refreshes the baseline
+from the current run (see docs/benchmarking.md).
+
+Usage:
+    PYTHONPATH=src python benchmarks/regress.py --smoke
+    PYTHONPATH=src python benchmarks/regress.py --smoke --check
+    PYTHONPATH=src python benchmarks/regress.py --mode full --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent
+if str(REPO / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.events import JoinEvent, LeaveEvent
+from repro.core.protocol import DgmcNetwork, ProtocolConfig
+from repro.harness.figures import (
+    EXP1_COMPUTE,
+    EXP1_PER_HOP,
+    _bursty_scenario,
+    experiment1,
+    experiment2,
+)
+from repro.lsr import spf, spfcache
+from repro.sim.rng import RngRegistry
+from repro.topo.generators import waxman_network
+
+SCHEMA = "repro-bench/v1"
+DEFAULT_BASELINE = HERE / "bench_baseline.json"
+
+#: Per-mode sweep parameters: (sizes, graphs_per_size).
+MODES: Dict[str, tuple] = {
+    "quick": ((16,), 1),
+    "smoke": ((20, 40), 2),
+    "full": ((20, 40, 60, 80, 100), 5),
+}
+
+
+# -- benchmark bodies --------------------------------------------------------
+
+
+def _sweep_record(rows) -> Dict[str, object]:
+    trials = [t for row in rows for t in row.trials]
+    hits = sum(t.spf_hits for t in trials)
+    misses = sum(t.spf_misses for t in trials)
+    return {
+        "events": sum(t.events for t in trials),
+        "computations": sum(t.computations for t in trials),
+        "floodings": sum(t.floodings for t in trials),
+        "dijkstra_runs": sum(t.dijkstra_runs for t in trials),
+        "spf_hits": hits,
+        "spf_misses": misses,
+        "spf_invalidations": sum(t.spf_invalidations for t in trials),
+        "spf_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "all_agreed": all(t.agreed for t in trials),
+    }
+
+
+def bench_exp1_churn(sizes, graphs) -> Dict[str, object]:
+    return _sweep_record(experiment1(sizes=sizes, graphs_per_size=graphs))
+
+
+def bench_exp2_churn(sizes, graphs) -> Dict[str, object]:
+    return _sweep_record(experiment2(sizes=sizes, graphs_per_size=graphs))
+
+
+def bench_spf_substrate(sizes, graphs) -> Dict[str, object]:
+    """Routing tables + repeated path queries on one network image."""
+    n = max(sizes)
+    net = waxman_network(n, RngRegistry(7).stream("topology"))
+    view = net.spf_view()
+    queries = 0
+    for src in net.switches():
+        spf.routing_table(view, src)
+        for dst in range(0, n, max(1, n // 8)):
+            spf.shortest_path(view, src, dst)
+            queries += 1
+    stats = net.spf_stats
+    return {
+        "switches": n,
+        "path_queries": queries,
+        "dijkstra_runs": stats.full_runs,
+        "spf_hits": stats.hits,
+        "spf_misses": stats.misses,
+        "spf_hit_rate": stats.hit_rate,
+    }
+
+
+def _churn_run(n: int, graph: int, seed: int) -> tuple:
+    """One exp1-style churn trial; returns (dijkstra runs, topology bytes).
+
+    The scenario is rebuilt deterministically from the seed, so cached and
+    uncached invocations see byte-identical inputs.
+    """
+    registry = RngRegistry(seed).fork(f"size={n}/graph={graph}")
+    scenario = _bursty_scenario(
+        n, graph, registry, EXP1_PER_HOP, EXP1_COMPUTE, "regress"
+    )
+    config = ProtocolConfig(
+        compute_time=scenario.compute_time, per_hop_delay=scenario.per_hop_delay
+    )
+    dgmc = DgmcNetwork(scenario.net, config)
+    dgmc.register_symmetric(scenario.connection_id)
+    m = scenario.connection_id
+    runs0 = spf.RUN_COUNTER.count
+
+    gap = 4.0 * scenario.round_length
+    t = gap
+    for switch in sorted(scenario.schedule.initial_members):
+        dgmc.inject(JoinEvent(switch, m), at=t)
+        t += gap
+    dgmc.run()
+    t0 = dgmc.sim.now + gap
+    for ev in scenario.schedule.events:
+        if ev.join:
+            dgmc.inject(JoinEvent(ev.switch, m), at=t0 + ev.time)
+        else:
+            dgmc.inject(LeaveEvent(ev.switch, m), at=t0 + ev.time)
+    dgmc.run()
+
+    agreed, detail = dgmc.agreement(m)
+    if not agreed:
+        raise AssertionError(f"disagreement in churn run n={n}: {detail}")
+    # Canonical bytes of every switch's installed topology.
+    snapshot = []
+    for x, state in sorted(dgmc.states_for(m).items()):
+        edges = sorted(state.installed.all_edges()) if state.installed else []
+        members = sorted((sw, sorted(r)) for sw, r in state.members.items())
+        snapshot.append((x, edges, members))
+    return spf.RUN_COUNTER.count - runs0, repr(snapshot).encode()
+
+
+def bench_cache_equivalence(sizes, graphs) -> Dict[str, object]:
+    """Cached vs uncached churn runs: identical trees, >= 2x fewer Dijkstras."""
+    cached_runs = 0
+    uncached_runs = 0
+    identical = True
+    trials = 0
+    for n in sizes:
+        for g in range(graphs):
+            runs_c, blob_c = _churn_run(n, g, seed=1996)
+            with spfcache.disabled():
+                runs_u, blob_u = _churn_run(n, g, seed=1996)
+            cached_runs += runs_c
+            uncached_runs += runs_u
+            identical = identical and (blob_c == blob_u)
+            trials += 1
+    reduction = uncached_runs / cached_runs if cached_runs else float("inf")
+    return {
+        "trials": trials,
+        "dijkstra_runs_cached": cached_runs,
+        "dijkstra_runs_uncached": uncached_runs,
+        "dijkstra_reduction": reduction,
+        "identical_trees": identical,
+    }
+
+
+BENCHMARKS: Dict[str, Callable] = {
+    "exp1_churn": bench_exp1_churn,
+    "exp2_churn": bench_exp2_churn,
+    "spf_substrate": bench_spf_substrate,
+    "cache_equivalence": bench_cache_equivalence,
+}
+
+#: Keys gated with --count-tolerance when present in both runs (wall time
+#: is always gated with --tolerance).
+COUNTER_KEYS = ("dijkstra_runs", "computations", "floodings", "events")
+
+
+# -- run / report ------------------------------------------------------------
+
+
+def run_benchmarks(mode: str, only: Optional[List[str]] = None) -> Dict[str, object]:
+    sizes, graphs = MODES[mode]
+    records: Dict[str, Dict[str, object]] = {}
+    for name, fn in BENCHMARKS.items():
+        if only and name not in only:
+            continue
+        start = time.perf_counter()
+        record = fn(sizes, graphs)
+        record["wall_time_s"] = round(time.perf_counter() - start, 4)
+        records[name] = record
+        print(f"  {name}: {record['wall_time_s']:.2f}s", flush=True)
+    return {
+        "schema": SCHEMA,
+        "mode": mode,
+        "sizes": list(sizes),
+        "graphs_per_size": graphs,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": records,
+    }
+
+
+def check_invariants(report: Dict[str, object]) -> List[str]:
+    """Baseline-independent correctness gates."""
+    failures: List[str] = []
+    benches = report["benchmarks"]
+    eq = benches.get("cache_equivalence")
+    if eq is not None:
+        if not eq["identical_trees"]:
+            failures.append(
+                "cache_equivalence: cached and uncached runs produced "
+                "different installed topologies"
+            )
+        if eq["dijkstra_reduction"] < 2.0:
+            failures.append(
+                "cache_equivalence: Dijkstra reduction "
+                f"{eq['dijkstra_reduction']:.2f}x < 2.0x"
+            )
+    for name in ("exp1_churn", "exp2_churn"):
+        record = benches.get(name)
+        if record is not None and not record.get("all_agreed", True):
+            failures.append(f"{name}: switches disagreed after quiescence")
+    return failures
+
+
+def compare_to_baseline(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float,
+    count_tolerance: float,
+) -> List[str]:
+    """Regression list (empty = pass).  Only benchmarks present in both
+    runs are compared; a mode mismatch is itself a failure."""
+    failures: List[str] = []
+    if baseline.get("mode") != report.get("mode"):
+        failures.append(
+            f"baseline mode {baseline.get('mode')!r} != run mode "
+            f"{report.get('mode')!r}; refresh the baseline"
+        )
+        return failures
+    base_benches = baseline.get("benchmarks", {})
+    for name, record in report["benchmarks"].items():
+        base = base_benches.get(name)
+        if base is None:
+            continue
+        allowed = base["wall_time_s"] * (1.0 + tolerance)
+        if record["wall_time_s"] > allowed:
+            failures.append(
+                f"{name}: wall time {record['wall_time_s']:.3f}s exceeds "
+                f"baseline {base['wall_time_s']:.3f}s by more than "
+                f"{tolerance:.0%}"
+            )
+        for key in COUNTER_KEYS:
+            if key not in record or key not in base:
+                continue
+            limit = base[key] * (1.0 + count_tolerance)
+            if record[key] > limit:
+                failures.append(
+                    f"{name}: {key} {record[key]} exceeds baseline "
+                    f"{base[key]} by more than {count_tolerance:.0%}"
+                )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=sorted(MODES), default="smoke")
+    parser.add_argument(
+        "--smoke",
+        action="store_const",
+        const="smoke",
+        dest="mode",
+        help="shorthand for --mode smoke (the CI gate)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(BENCHMARKS),
+        help="run only the named benchmark (repeatable)",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on regression vs the baseline or invariant violation",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative wall-time regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--count-tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative counter regression (default 0.10)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write this run's report to the baseline path",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"regress: mode={args.mode}", flush=True)
+    report = run_benchmarks(args.mode, only=args.only)
+
+    out = args.out
+    if out is None:
+        results = HERE / "results"
+        results.mkdir(exist_ok=True)
+        out = results / f"BENCH_{args.mode}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    failures = check_invariants(report)
+    if args.check:
+        if args.baseline.exists():
+            baseline = json.loads(args.baseline.read_text())
+            failures += compare_to_baseline(
+                report, baseline, args.tolerance, args.count_tolerance
+            )
+        else:
+            failures.append(f"baseline {args.baseline} not found")
+    if args.update_baseline:
+        args.baseline.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline updated: {args.baseline}")
+
+    if failures:
+        print("REGRESSION CHECK FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("regression check passed" if args.check else "done")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -170,6 +170,15 @@ class BruteForceNetwork:
     def mc_floodings(self) -> int:
         return self.fabric.count_for("mc")
 
+    def spf_cache_stats(self):
+        """Aggregated SPF cache counters (kept apples-to-apples with
+        :meth:`repro.core.protocol.DgmcNetwork.spf_cache_stats`)."""
+        from repro.lsr.spfcache import combined_stats
+
+        return combined_stats(
+            [r.lsdb.spf_stats for r in self.routers.values()] + [self.net.spf_stats]
+        )
+
     def last_install_time(self, connection_id: int) -> float:
         times = [
             st.last_install_time

@@ -192,3 +192,12 @@ class MospfNetwork:
 
     def members_of(self, group_id: int, at_router: int = 0) -> frozenset:
         return frozenset(self.mospf[at_router].members.get(group_id, ()))
+
+    def spf_cache_stats(self):
+        """Aggregated SPF cache counters (kept apples-to-apples with
+        :meth:`repro.core.protocol.DgmcNetwork.spf_cache_stats`)."""
+        from repro.lsr.spfcache import combined_stats
+
+        return combined_stats(
+            [r.lsdb.spf_stats for r in self.routers.values()] + [self.net.spf_stats]
+        )

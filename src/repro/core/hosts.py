@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.core.events import JoinEvent, LeaveEvent
-from repro.core.mc import ConnectionType, Role, default_role
+from repro.core.mc import Role, default_role
 from repro.core.protocol import DgmcNetwork
 
 

@@ -11,12 +11,12 @@ link events, run the simulation, inspect agreement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.events import JoinEvent, LeaveEvent, LinkEvent, NodeEvent
 from repro.core.lsa import McEvent, McLsa
-from repro.core.mc import ConnectionSpec, ConnectionType, Role
+from repro.core.mc import ConnectionSpec, ConnectionType
 from repro.core.state import McState
 from repro.core.switch import DgmcSwitch
 from repro.lsr.flooding import FloodingFabric
@@ -384,6 +384,15 @@ class DgmcNetwork:
 
     def total_computations(self) -> int:
         return len(self.computation_log)
+
+    def spf_cache_stats(self):
+        """Aggregated SPF cache counters across all routers' images and
+        the physical network's views."""
+        from repro.lsr.spfcache import combined_stats
+
+        return combined_stats(
+            [r.lsdb.spf_stats for r in self.routers.values()] + [self.net.spf_stats]
+        )
 
     def mc_floodings(self) -> int:
         return self.fabric.count_for("mc")

@@ -47,7 +47,7 @@ Two documented deviations from the paper's pseudocode (see DESIGN.md):
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, Iterable, Optional, TYPE_CHECKING
+from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 from repro.core.lsa import McEvent, McLsa
 from repro.core.mc import ConnectionSpec, Role, default_role
@@ -173,6 +173,9 @@ class DgmcSwitch:
         The inputs (member list, network image, previously installed
         topology) are snapshotted at computation start; the result reflects
         that snapshot even if LSAs modify the state during the Tc window.
+        The image is an SPF-memoizing snapshot that installs replace (never
+        mutate), so a computation in flight keeps its consistent old view
+        while reusing any Dijkstra result already solved on it.
         """
         members = dict(state.members)
         image = self.router.network_image()

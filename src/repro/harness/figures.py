@@ -21,8 +21,8 @@ means with 95% confidence intervals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.harness.experiment import (
     run_brute_force_trial,

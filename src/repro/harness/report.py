@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Sequence
 
 from repro.harness.sweeps import SweepRow
 

@@ -8,7 +8,7 @@ for each network size."  (Section 4.2; digits OCR-reconstructed.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, List, Sequence
 
 from repro.metrics.collector import TrialMetrics
 from repro.metrics.stats import Aggregate, aggregate
@@ -42,6 +42,14 @@ class SweepRow:
     @property
     def convergence_rounds(self) -> Aggregate:
         return self.agg(lambda t: t.convergence_rounds)
+
+    @property
+    def spf_hit_rate(self) -> Aggregate:
+        return self.agg(lambda t: t.spf_hit_rate)
+
+    @property
+    def dijkstra_runs(self) -> int:
+        return sum(t.dijkstra_runs for t in self.trials)
 
     @property
     def all_agreed(self) -> bool:

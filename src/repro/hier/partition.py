@@ -11,7 +11,7 @@ intra-area shortest-path delay -- the PNNI-style abstraction of an area).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
 from repro.lsr import spf
@@ -127,7 +127,9 @@ class AreaPlan:
             ).up = link.up
         # Virtual intra-area border-to-border links (area abstraction).
         for view in self.areas.values():
-            adj = spf.network_adjacency(view.net)
+            # Memoizing view: the border-pair distance and path queries
+            # below reuse one SSSP solve per border switch.
+            adj = view.net.spf_view()
             for i, a in enumerate(view.borders):
                 dist, _ = spf.dijkstra(adj, view.to_local[a])
                 for b in view.borders[i + 1 :]:

@@ -11,7 +11,7 @@ rationale -- the paper names this extension but does not specify it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.core.events import JoinEvent, LeaveEvent, NodeEvent
 from repro.core.protocol import DgmcNetwork, ProtocolConfig

@@ -70,6 +70,10 @@ class FloodingFabric:
         #: Total individual LSA deliveries (diagnostic).
         self.delivery_count = 0
         self.history: list[FloodDelivery] = []
+        #: Per-origin BFS hop counts, valid for one topology version
+        #: (fixed per-hop timing floods one BFS per event otherwise).
+        self._hops_cache: Dict[int, Dict[int, int]] = {}
+        self._hops_version = -1
 
     def register(self, switch_id: int, deliver: DeliverFn) -> None:
         """Install the delivery hook for ``switch_id`` (one per switch)."""
@@ -90,10 +94,15 @@ class FloodingFabric:
         Evaluated against the network's *current* up-link topology.
         """
         if self.per_hop_delay is not None:
-            hops = self.net.hop_distances(origin)
+            if self._hops_version != self.net.version:
+                self._hops_cache.clear()
+                self._hops_version = self.net.version
+            hops = self._hops_cache.get(origin)
+            if hops is None:
+                hops = self.net.hop_distances(origin)
+                self._hops_cache[origin] = hops
             return {x: h * self.per_hop_delay for x, h in hops.items()}
-        adj = spf.network_adjacency(self.net)
-        dist, _ = spf.dijkstra(adj, origin)
+        dist, _ = spf.dijkstra(self.net.spf_view(), origin)
         return dist
 
     def flood(self, origin: int, payload: Any, kind: str = "lsa") -> FloodDelivery:

@@ -9,20 +9,31 @@ the image only when **both** endpoints currently advertise it as up.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.lsr.lsa import RouterLsa
+from repro.lsr.spfcache import CacheStats, wrap_image
 
 
 class LinkStateDatabase:
-    """Newest-LSA-per-origin store with a cached adjacency image."""
+    """Newest-LSA-per-origin store with a cached adjacency image.
+
+    The image is handed out as a :class:`~repro.lsr.spfcache.SpfCache`
+    snapshot keyed by the install generation: every accepted LSA install
+    discards the snapshot (and its memoized SPF results) and the next
+    :meth:`adjacency` call builds a fresh one.  ``spf_stats`` accumulates
+    hit/miss/invalidation counters across generations.
+    """
 
     def __init__(self, n: int) -> None:
         self.n = n
         self._entries: Dict[int, RouterLsa] = {}
-        self._image: Optional[Dict[int, Dict[int, float]]] = None
-        #: Count of accepted (newer) installs, for diagnostics.
+        self._image: Optional[Mapping[int, Dict[int, float]]] = None
+        #: Count of accepted (newer) installs, for diagnostics.  Doubles as
+        #: the SPF cache generation: each install starts a new image.
         self.installs = 0
+        #: SPF cache counters, shared by every image generation of this db.
+        self.spf_stats = CacheStats()
 
     def install(self, lsa: RouterLsa) -> bool:
         """Install ``lsa`` if it is newer than the stored one; return whether."""
@@ -30,7 +41,9 @@ class LinkStateDatabase:
         if current is not None and not lsa.is_newer_than(current):
             return False
         self._entries[lsa.origin] = lsa
-        self._image = None
+        if self._image is not None:
+            self._image = None
+            self.spf_stats.invalidations += 1
         self.installs += 1
         return True
 
@@ -41,11 +54,13 @@ class LinkStateDatabase:
         """True when the database holds an LSA from every switch."""
         return len(self._entries) == self.n
 
-    def adjacency(self) -> Dict[int, Dict[int, float]]:
+    def adjacency(self) -> Mapping[int, Dict[int, float]]:
         """The network image as ``{node: {neighbor: delay}}``.
 
         A link appears iff both endpoints advertise it up; the delay is the
-        mean of the two advertised values (they normally agree).
+        mean of the two advertised values (they normally agree).  The
+        returned mapping is an SPF-memoizing snapshot (see module
+        docstring); treat it as immutable.
         """
         if self._image is not None:
             return self._image
@@ -61,8 +76,8 @@ class LinkStateDatabase:
                 if back is None or not back[1]:
                     continue
                 adj[origin][nbr] = (delay + back[0]) / 2.0
-        self._image = adj
-        return adj
+        self._image = wrap_image(adj, stats=self.spf_stats, generation=self.installs)
+        return self._image
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"LinkStateDatabase(n={self.n}, origins={len(self._entries)})"

@@ -52,7 +52,7 @@ class UnicastRouter:
                     self.net.link(self.switch_id, nbr)
                     for nbr in self.net.neighbors(self.switch_id, include_down=True)
                 ),
-                key=lambda l: l.key,
+                key=lambda lk: lk.key,
             )
         )
         self._seqnum += 1
@@ -90,14 +90,27 @@ class UnicastRouter:
 
     # -- derived state -----------------------------------------------------------
 
-    def network_image(self) -> Dict[int, Dict[int, float]]:
-        """The complete local image of the network (adjacency with delays)."""
+    def network_image(self):
+        """The complete local image of the network (adjacency with delays).
+
+        An SPF-memoizing snapshot; LSA installs replace it wholesale, so
+        holders of an old reference keep a consistent old image.
+        """
         return self.lsdb.adjacency()
 
     def routing_table(self) -> Dict[int, int]:
-        """Next-hop table from this switch (computed lazily, cached)."""
+        """Next-hop table from this switch (computed lazily, cached).
+
+        With a cache-wrapped image the table is memoized per image
+        generation in the LSDB's SPF cache; the local memo only serves
+        plain (cache-disabled) images.
+        """
+        image = self.network_image()
+        cached = getattr(image, "routing_table", None)
+        if cached is not None:
+            return cached(self.switch_id)
         if self._routing_table is None:
-            self._routing_table = spf.routing_table(self.network_image(), self.switch_id)
+            self._routing_table = spf.routing_table(image, self.switch_id)
         return self._routing_table
 
     def next_hop(self, dest: int) -> Optional[int]:

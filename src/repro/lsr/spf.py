@@ -6,6 +6,12 @@ All functions take an *adjacency mapping* ``{node: {neighbor: weight}}``
 independent of the concrete graph container.  Ties are broken by node id so
 every switch computing on the same image derives the *same* tree -- a
 property both OSPF and the D-GMC protocol rely on.
+
+When the adjacency is a :class:`~repro.lsr.spfcache.SpfCache` (the wrapped
+images the LSDB and the Network hand out), every function delegates to the
+cache's memoized results, so repeated computations on one network image
+run Dijkstra once.  Plain mappings take the uncached path, byte-identical
+in output to the cached one.
 """
 
 from __future__ import annotations
@@ -17,8 +23,27 @@ from typing import Dict, Mapping, Optional
 Adjacency = Mapping[int, Mapping[int, float]]
 
 
+class RunCounter:
+    """Process-wide count of full Dijkstra executions (cached misses and
+    uncached calls alike); ``benchmarks/regress.py`` diffs it per trial."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def reset(self) -> int:
+        previous = self.count
+        self.count = 0
+        return previous
+
+
+RUN_COUNTER = RunCounter()
+
+
 def network_adjacency(net, include_down: bool = False) -> Dict[int, Dict[int, float]]:
-    """Build an adjacency mapping (delays as weights) from a Network."""
+    """Build a fresh, plain adjacency mapping (delays as weights) from a
+    Network.  For a memoizing view, use :meth:`Network.spf_view` instead."""
     adj: Dict[int, Dict[int, float]] = {x: {} for x in net.switches()}
     for link in net.links(include_down=include_down):
         adj[link.u][link.v] = link.delay
@@ -33,8 +58,20 @@ def dijkstra(
 
     Returns ``(dist, parent)``; unreachable nodes appear in neither map.
     ``parent[source] is None``.  Equal-cost paths are resolved toward the
-    lower parent id, deterministically.
+    lower parent id, deterministically.  Cached adjacencies return their
+    memoized result; treat it as immutable.
     """
+    sssp = getattr(adj, "sssp", None)
+    if sssp is not None:
+        return sssp(source)
+    return dijkstra_uncached(adj, source)
+
+
+def dijkstra_uncached(
+    adj: Adjacency, source: int
+) -> tuple[Dict[int, float], Dict[int, Optional[int]]]:
+    """The raw Dijkstra run (no memoization); counts into RUN_COUNTER."""
+    RUN_COUNTER.count += 1
     dist: Dict[int, float] = {}
     parent: Dict[int, Optional[int]] = {}
     # Heap entries: (distance, tie-break parent id, node, parent).
@@ -52,7 +89,14 @@ def dijkstra(
 
 
 def shortest_path(adj: Adjacency, source: int, target: int) -> Optional[list[int]]:
-    """Node list of the shortest path, or ``None`` if unreachable."""
+    """Node list of the shortest path, or ``None`` if unreachable.
+
+    On a cached adjacency, repeated queries from one source reuse a single
+    SSSP solve instead of re-running Dijkstra per ``(source, target)``.
+    """
+    cached = getattr(adj, "shortest_path", None)
+    if cached is not None:
+        return cached(source, target)
     dist, parent = dijkstra(adj, source)
     if target not in dist:
         return None
@@ -70,6 +114,9 @@ def path_edges(path: list[int]) -> list[tuple[int, int]]:
 
 def routing_table(adj: Adjacency, source: int) -> Dict[int, int]:
     """OSPF-style next-hop table: destination -> first hop from ``source``."""
+    cached = getattr(adj, "routing_table", None)
+    if cached is not None:
+        return cached(source)
     dist, parent = dijkstra(adj, source)
     table: Dict[int, int] = {}
     for dest in dist:
@@ -84,5 +131,8 @@ def routing_table(adj: Adjacency, source: int) -> Dict[int, int]:
 
 def eccentricity(adj: Adjacency, node: int) -> float:
     """Largest shortest-path distance from ``node`` to any reachable node."""
+    cached = getattr(adj, "eccentricity", None)
+    if cached is not None:
+        return cached(node)
     dist, _ = dijkstra(adj, node)
     return max(dist.values()) if dist else 0.0

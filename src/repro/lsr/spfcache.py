@@ -1,0 +1,254 @@
+"""LSDB-generation-keyed SPF result cache.
+
+D-GMC's cost model charges *one* topology computation per event, yet the
+substrate underneath used to re-run full Dijkstra from scratch on every
+``shortest_path`` / ``routing_table`` / tree computation -- even when the
+link-state image was unchanged.  Link-state routers avoid exactly that
+cost by reusing SPF results until the next LSA invalidates them (see the
+mDT line of work in PAPERS.md); this module gives the reproduction the
+same property.
+
+:class:`SpfCache` wraps an adjacency mapping ``{node: {neighbor: weight}}``
+and *is itself* such a mapping, so it can flow unchanged through every
+consumer of a network image (tree algorithms, routing tables, the
+dataplane, the baselines).  On top of the mapping protocol it memoizes
+
+* :meth:`sssp` -- the ``(dist, parent)`` pair of one full Dijkstra run,
+* :meth:`routing_table` -- the OSPF next-hop table derived from it,
+* :meth:`eccentricity` and :meth:`shortest_path` -- cheap derivations.
+
+:mod:`repro.lsr.spf` duck-types on these methods: ``spf.dijkstra(adj, s)``
+delegates to ``adj.sssp(s)`` whenever ``adj`` is a cache, so callers never
+change.  Producers -- :class:`~repro.lsr.lsdb.LinkStateDatabase` and
+:class:`~repro.topo.graph.Network` -- hand out cache-wrapped images and
+replace them wholesale on invalidation (LSA install, link up/down), which
+preserves snapshot semantics: a computation that captured the old image
+keeps computing on the old image.
+
+Memoized results are shared; callers must treat the returned ``dist`` /
+``parent`` mappings as immutable (every in-tree consumer already does).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.lsr.spf import dijkstra_uncached
+
+_enabled = True
+
+
+def set_enabled(flag: bool) -> bool:
+    """Globally enable/disable cache wrapping; returns the previous value.
+
+    When disabled, image producers hand out plain dicts, so every SPF
+    query pays a full Dijkstra -- the pre-cache behavior.  Used by
+    ``benchmarks/regress.py`` to prove cached and uncached runs produce
+    byte-identical topologies.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+@contextmanager
+def disabled():
+    """Context manager: run a block with cache wrapping turned off."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters, shared across cache generations.
+
+    A producer keeps one ``CacheStats`` for the lifetime of the image
+    source (an LSDB, a Network) and threads it through every cache
+    instance it creates, so counters accumulate across invalidations.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    #: Full Dijkstra executions performed on behalf of this cache.
+    full_runs: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.hits + other.hits,
+            self.misses + other.misses,
+            self.invalidations + other.invalidations,
+            self.full_runs + other.full_runs,
+        )
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.hits - other.hits,
+            self.misses - other.misses,
+            self.invalidations - other.invalidations,
+            self.full_runs - other.full_runs,
+        )
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.invalidations, self.full_runs)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "full_runs": self.full_runs,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def combined_stats(parts: Iterable[Optional[CacheStats]]) -> CacheStats:
+    """Sum a collection of stats objects, skipping absent (None) ones."""
+    total = CacheStats()
+    for part in parts:
+        if part is not None:
+            total = total + part
+    return total
+
+
+class SpfCache(MappingABC):
+    """An adjacency mapping with memoized SPF results.
+
+    Instances are immutable snapshots of one network image: producers
+    build a *new* cache (sharing the same :class:`CacheStats`) whenever
+    the image changes, rather than mutating an existing one.
+    """
+
+    __slots__ = ("_adj", "stats", "generation", "_sssp", "_tables", "_ecc")
+
+    def __init__(
+        self,
+        adj: Mapping[int, Mapping[int, float]],
+        stats: Optional[CacheStats] = None,
+        generation: int = 0,
+    ) -> None:
+        self._adj = adj
+        self.stats = stats if stats is not None else CacheStats()
+        #: The producer's image version this snapshot was built from.
+        self.generation = generation
+        self._sssp: Dict[int, Tuple[Dict[int, float], Dict[int, Optional[int]]]] = {}
+        self._tables: Dict[int, Dict[int, int]] = {}
+        self._ecc: Dict[int, float] = {}
+
+    # -- mapping protocol (read-only view of the wrapped adjacency) --------
+
+    def __getitem__(self, node: int) -> Mapping[int, float]:
+        return self._adj[node]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SpfCache):
+            return dict(self._adj) == dict(other._adj)
+        if isinstance(other, MappingABC):
+            return dict(self._adj) == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:  # Mapping sets __hash__ = None otherwise
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SpfCache(nodes={len(self._adj)}, gen={self.generation}, "
+            f"sssp={len(self._sssp)}, hit_rate={self.stats.hit_rate:.2f})"
+        )
+
+    # -- memoized SPF results ----------------------------------------------
+
+    def sssp(
+        self, source: int
+    ) -> Tuple[Dict[int, float], Dict[int, Optional[int]]]:
+        """Memoized single-source shortest paths (``spf.dijkstra``)."""
+        entry = self._sssp.get(source)
+        if entry is not None:
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        self.stats.full_runs += 1
+        entry = dijkstra_uncached(self._adj, source)
+        self._sssp[source] = entry
+        return entry
+
+    def routing_table(self, source: int) -> Dict[int, int]:
+        """Memoized OSPF-style next-hop table from ``source``."""
+        table = self._tables.get(source)
+        if table is not None:
+            self.stats.hits += 1
+            return table
+        dist, parent = self.sssp(source)
+        table = {}
+        for dest in dist:
+            if dest == source:
+                continue
+            hop = dest
+            while parent[hop] != source:
+                hop = parent[hop]  # type: ignore[assignment]
+            table[dest] = hop
+        self._tables[source] = table
+        return table
+
+    def eccentricity(self, node: int) -> float:
+        """Memoized largest shortest-path distance from ``node``."""
+        value = self._ecc.get(node)
+        if value is not None:
+            self.stats.hits += 1
+            return value
+        dist, _ = self.sssp(node)
+        value = max(dist.values()) if dist else 0.0
+        self._ecc[node] = value
+        return value
+
+    def shortest_path(self, source: int, target: int) -> Optional[list]:
+        """Shortest node path, reconstructed from the memoized SSSP.
+
+        Repeated ``(source, *)`` queries on one image solve the SSSP once
+        -- previously every query paid a full Dijkstra.
+        """
+        dist, parent = self.sssp(source)
+        if target not in dist:
+            return None
+        path = [target]
+        while parent[path[-1]] is not None:
+            path.append(parent[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path
+
+
+def wrap_image(
+    adj: Dict[int, Dict[int, float]],
+    stats: Optional[CacheStats] = None,
+    generation: int = 0,
+):
+    """Wrap a freshly built image in a cache, honoring the global switch."""
+    if not _enabled:
+        return adj
+    return SpfCache(adj, stats=stats, generation=generation)

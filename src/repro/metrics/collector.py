@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 
 @dataclass
@@ -28,6 +27,13 @@ class TrialMetrics:
     agreed: bool = True
     #: Free-form protocol label ("dgmc", "mospf", "brute-force", ...).
     protocol: str = "dgmc"
+    #: Full Dijkstra executions during the measured phase (cache misses
+    #: plus uncached calls; see repro.lsr.spf.RUN_COUNTER).
+    dijkstra_runs: int = 0
+    #: SPF cache counters during the measured phase.
+    spf_hits: int = 0
+    spf_misses: int = 0
+    spf_invalidations: int = 0
 
     @property
     def computations_per_event(self) -> float:
@@ -48,3 +54,9 @@ class TrialMetrics:
         if self.round_length <= 0:
             return 0.0
         return self.convergence_time / self.round_length
+
+    @property
+    def spf_hit_rate(self) -> float:
+        """Fraction of SPF queries answered from the cache."""
+        total = self.spf_hits + self.spf_misses
+        return self.spf_hits / total if total else 0.0

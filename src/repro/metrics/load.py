@@ -10,7 +10,7 @@ protocol loads every switch uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable
 
 
 @dataclass(frozen=True)

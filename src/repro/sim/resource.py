@@ -9,7 +9,7 @@ experiments can report switch load.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from repro.sim.kernel import SimulationError
 from repro.sim.process import Command, Process, ProcessState

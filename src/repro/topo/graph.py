@@ -78,6 +78,13 @@ class Network:
         self._hosts: Dict[str, Host] = {}
         #: Optional 2-D coordinates (used by Waxman generation and plotting).
         self.positions: Dict[int, Tuple[float, float]] = {}
+        #: Topology version: bumped by every link addition or up/down
+        #: transition, so SPF views know when they are stale.
+        self._version = 0
+        #: Cached SPF views, keyed by include_down (see spf_view).
+        self._spf_views: Dict[bool, object] = {}
+        #: SPF cache counters for this network's views (lazily created).
+        self.spf_stats = None
 
     # -- construction ------------------------------------------------------
 
@@ -98,6 +105,7 @@ class Network:
         self._links[key] = link
         self._adj[u][v] = link
         self._adj[v][u] = link
+        self._invalidate_views()
         return link
 
     def attach_host(self, host_id: str, ingress: int, **attrs) -> Host:
@@ -156,7 +164,48 @@ class Network:
         """Mark a link up or down; returns the link."""
         link = self.link(u, v)
         link.up = up
+        self._invalidate_views()
         return link
+
+    # -- SPF views -----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone topology version (bumped per link add / state change)."""
+        return self._version
+
+    def _invalidate_views(self) -> None:
+        self._version += 1
+        if self._spf_views:
+            self._spf_views.clear()
+            if self.spf_stats is not None:
+                self.spf_stats.invalidations += 1
+
+    def spf_view(self, include_down: bool = False):
+        """A memoizing adjacency view (delays as weights) of this network.
+
+        Equivalent in content to :func:`repro.lsr.spf.network_adjacency`
+        but wrapped in an :class:`~repro.lsr.spfcache.SpfCache`, so SPF
+        results are reused until the next link mutation invalidates the
+        view.  Treat the returned mapping as immutable.
+        """
+        from repro.lsr.spfcache import CacheStats, enabled, wrap_image
+
+        key = bool(include_down)
+        view = self._spf_views.get(key)
+        if view is not None:
+            return view
+        adj: Dict[int, Dict[int, float]] = {x: {} for x in self.switches()}
+        for link in self.links(include_down=include_down):
+            adj[link.u][link.v] = link.delay
+            adj[link.v][link.u] = link.delay
+        if not enabled():
+            return adj
+        if self.spf_stats is None:
+            self.spf_stats = CacheStats()
+        view = wrap_image(adj, stats=self.spf_stats, generation=self._version)
+        self._spf_views[key] = view
+        return view
 
     # -- graph algorithms ----------------------------------------------------
 

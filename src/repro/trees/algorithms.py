@@ -21,7 +21,7 @@ from __future__ import annotations
 import abc
 from typing import Mapping, Optional
 
-from repro.trees.base import McTopology, MulticastTree, SHARED
+from repro.trees.base import McTopology, MulticastTree
 from repro.trees.cbt import core_based_tree, select_core
 from repro.trees.dynamic import GreedyDynamicSteiner
 from repro.trees.spt import source_rooted_tree

@@ -10,7 +10,7 @@ Tf-to-Tc ratio.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.topo.graph import Network
