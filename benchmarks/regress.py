@@ -22,13 +22,23 @@ Benchmarks:
   enabled and disabled, and checks the **invariants** this repo's cache
   layer must uphold: byte-identical installed topologies and a >= 2x
   reduction in full Dijkstra executions.
+* ``tracing_overhead`` -- churn with tracing disabled vs enabled: zero
+  extra Dijkstra runs, identical topologies, and a disabled-hook cost
+  <= 5% of the mean dispatch time (see docs/observability.md).
+
+Every report embeds the process-wide metrics registry's sample deltas
+(``"metrics"``), and each run also writes ``TRACE_<mode>.json`` (Chrome
+trace of a small conflict scenario) and ``METRICS_<mode>.prom`` next to
+the report -- CI uploads all three as workflow artifacts.
 
 ``--check`` compares against a committed baseline
-(``benchmarks/bench_baseline.json`` by default): wall time may regress at
-most ``--tolerance`` (relative), deterministic counters (Dijkstra runs,
-computations) at most ``--count-tolerance``.  Invariant violations fail
-regardless of the baseline.  ``--update-baseline`` refreshes the baseline
-from the current run (see docs/benchmarking.md).
+(``benchmarks/bench_baseline.json`` by default, multi-mode: one entry per
+``--mode``; legacy single-mode baselines still load): wall time may
+regress at most ``--tolerance`` (relative), deterministic counters
+(Dijkstra runs, computations) at most ``--count-tolerance``.  Invariant
+violations fail regardless of the baseline.  ``--update-baseline``
+refreshes this mode's baseline entry from the current run (see
+docs/benchmarking.md).
 
 Usage:
     PYTHONPATH=src python benchmarks/regress.py --smoke
@@ -61,6 +71,9 @@ from repro.harness.figures import (
     experiment2,
 )
 from repro.lsr import spf, spfcache
+from repro.obs import tracer as obs_tracer
+from repro.obs.metrics import REGISTRY as GLOBAL_REGISTRY
+from repro.obs.tracer import RingBufferSink, Tracer, use_tracer
 from repro.sim.rng import RngRegistry
 from repro.topo.generators import waxman_network
 
@@ -126,9 +139,10 @@ def bench_spf_substrate(sizes, graphs) -> Dict[str, object]:
 
 
 def _churn_run(n: int, graph: int, seed: int) -> tuple:
-    """One exp1-style churn trial; returns (dijkstra runs, topology bytes).
+    """One exp1-style churn trial.
 
-    The scenario is rebuilt deterministically from the seed, so cached and
+    Returns ``(dijkstra runs, topology bytes, events dispatched)``.  The
+    scenario is rebuilt deterministically from the seed, so cached and
     uncached invocations see byte-identical inputs.
     """
     registry = RngRegistry(seed).fork(f"size={n}/graph={graph}")
@@ -166,7 +180,11 @@ def _churn_run(n: int, graph: int, seed: int) -> tuple:
         edges = sorted(state.installed.all_edges()) if state.installed else []
         members = sorted((sw, sorted(r)) for sw, r in state.members.items())
         snapshot.append((x, edges, members))
-    return spf.RUN_COUNTER.count - runs0, repr(snapshot).encode()
+    return (
+        spf.RUN_COUNTER.count - runs0,
+        repr(snapshot).encode(),
+        dgmc.sim.events_dispatched,
+    )
 
 
 def bench_cache_equivalence(sizes, graphs) -> Dict[str, object]:
@@ -177,9 +195,9 @@ def bench_cache_equivalence(sizes, graphs) -> Dict[str, object]:
     trials = 0
     for n in sizes:
         for g in range(graphs):
-            runs_c, blob_c = _churn_run(n, g, seed=1996)
+            runs_c, blob_c, _ = _churn_run(n, g, seed=1996)
             with spfcache.disabled():
-                runs_u, blob_u = _churn_run(n, g, seed=1996)
+                runs_u, blob_u, _ = _churn_run(n, g, seed=1996)
             cached_runs += runs_c
             uncached_runs += runs_u
             identical = identical and (blob_c == blob_u)
@@ -194,11 +212,67 @@ def bench_cache_equivalence(sizes, graphs) -> Dict[str, object]:
     }
 
 
+def bench_tracing_overhead(sizes, graphs) -> Dict[str, object]:
+    """The instrumentation must be free when tracing is off.
+
+    Runs the same churn trial with tracing disabled and enabled and
+    checks (via :func:`check_invariants`) that
+
+    * enabling tracing causes **zero** additional Dijkstra runs and
+      byte-identical installed topologies,
+    * the disabled hook (one ``TRACER.enabled`` attribute check, measured
+      by microbenchmark) costs <= 5% of the mean event-dispatch time --
+      a machine-stable formulation of "<= 5% wall-time overhead" that
+      does not hinge on cross-run timing noise.
+    """
+    import timeit
+
+    n = min(sizes)
+    t0 = time.perf_counter()
+    runs_d, blob_d, events_d = _churn_run(n, 0, seed=1996)
+    wall_disabled = time.perf_counter() - t0
+
+    tracer = Tracer(enabled=True)
+    tracer.add_sink(RingBufferSink())
+    with use_tracer(tracer):
+        t1 = time.perf_counter()
+        runs_e, blob_e, _ = _churn_run(n, 0, seed=1996)
+        wall_enabled = time.perf_counter() - t1
+
+    # Microbenchmark of the exact disabled hot-path guard.
+    reps = 200_000
+    hook_s = (
+        timeit.timeit(
+            "t = obs_tracer.TRACER\nif t.enabled:\n    pass",
+            globals={"obs_tracer": obs_tracer},
+            number=reps,
+        )
+        / reps
+    )
+    mean_dispatch_s = wall_disabled / events_d if events_d else float("inf")
+    return {
+        "switches": n,
+        "events_dispatched": events_d,
+        "dijkstra_runs_disabled": runs_d,
+        "dijkstra_runs_enabled": runs_e,
+        "identical_trees": blob_d == blob_e,
+        "wall_disabled_s": round(wall_disabled, 4),
+        "wall_enabled_s": round(wall_enabled, 4),
+        "enabled_overhead_ratio": round(wall_enabled / wall_disabled, 3)
+        if wall_disabled
+        else 0.0,
+        "hook_cost_ns": round(hook_s * 1e9, 1),
+        "mean_dispatch_us": round(mean_dispatch_s * 1e6, 2),
+        "disabled_hook_fraction": round(hook_s / mean_dispatch_s, 5),
+    }
+
+
 BENCHMARKS: Dict[str, Callable] = {
     "exp1_churn": bench_exp1_churn,
     "exp2_churn": bench_exp2_churn,
     "spf_substrate": bench_spf_substrate,
     "cache_equivalence": bench_cache_equivalence,
+    "tracing_overhead": bench_tracing_overhead,
 }
 
 #: Keys gated with --count-tolerance when present in both runs (wall time
@@ -212,6 +286,7 @@ COUNTER_KEYS = ("dijkstra_runs", "computations", "floodings", "events")
 def run_benchmarks(mode: str, only: Optional[List[str]] = None) -> Dict[str, object]:
     sizes, graphs = MODES[mode]
     records: Dict[str, Dict[str, object]] = {}
+    snap0 = GLOBAL_REGISTRY.snapshot()
     for name, fn in BENCHMARKS.items():
         if only and name not in only:
             continue
@@ -228,7 +303,34 @@ def run_benchmarks(mode: str, only: Optional[List[str]] = None) -> Dict[str, obj
         "python": platform.python_version(),
         "platform": platform.platform(),
         "benchmarks": records,
+        #: Process-wide registry sample deltas over the whole run.
+        "metrics": GLOBAL_REGISTRY.delta(snap0),
     }
+
+
+def export_observability_artifacts(mode: str, results_dir: pathlib.Path) -> List[pathlib.Path]:
+    """Chrome trace + Prometheus dump of a small conflict scenario.
+
+    CI uploads both as workflow artifacts alongside ``BENCH_<mode>.json``,
+    so every run leaves an inspectable trace of the protocol in action.
+    """
+    import random
+
+    rng = random.Random(1996)
+    net = waxman_network(12, rng)
+    dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05))
+    dgmc.register_symmetric(1)
+    for sw in rng.sample(range(net.n), 4):
+        dgmc.inject(JoinEvent(sw, 1), at=1.0 + rng.random())
+    tracer = Tracer(enabled=True)
+    tracer.add_sink(RingBufferSink())
+    with use_tracer(tracer):
+        dgmc.run()
+    trace_path = results_dir / f"TRACE_{mode}.json"
+    tracer.export_chrome(str(trace_path))
+    prom_path = results_dir / f"METRICS_{mode}.prom"
+    prom_path.write_text(dgmc.metrics.to_prometheus())
+    return [trace_path, prom_path]
 
 
 def check_invariants(report: Dict[str, object]) -> List[str]:
@@ -251,7 +353,44 @@ def check_invariants(report: Dict[str, object]) -> List[str]:
         record = benches.get(name)
         if record is not None and not record.get("all_agreed", True):
             failures.append(f"{name}: switches disagreed after quiescence")
+    tr = benches.get("tracing_overhead")
+    if tr is not None:
+        if tr["dijkstra_runs_enabled"] != tr["dijkstra_runs_disabled"]:
+            failures.append(
+                "tracing_overhead: enabling tracing changed the Dijkstra "
+                f"run count ({tr['dijkstra_runs_disabled']} -> "
+                f"{tr['dijkstra_runs_enabled']})"
+            )
+        if not tr["identical_trees"]:
+            failures.append(
+                "tracing_overhead: traced and untraced runs produced "
+                "different installed topologies"
+            )
+        if tr["disabled_hook_fraction"] > 0.05:
+            failures.append(
+                "tracing_overhead: disabled tracing hook costs "
+                f"{tr['disabled_hook_fraction']:.1%} of the mean dispatch "
+                "time (> 5%)"
+            )
     return failures
+
+
+def baseline_for_mode(
+    baseline: Dict[str, object], mode: str
+) -> Optional[Dict[str, object]]:
+    """The baseline entry for ``mode``.
+
+    Supports the multi-mode format (``{"modes": {mode: report, ...}}``)
+    and falls back to the legacy single-mode layout (the report itself at
+    top level, carrying a ``"mode"`` key).
+    """
+    modes = baseline.get("modes")
+    if isinstance(modes, dict):
+        entry = modes.get(mode)
+        return entry if isinstance(entry, dict) else None
+    if baseline.get("mode") == mode:
+        return baseline
+    return None
 
 
 def compare_to_baseline(
@@ -259,22 +398,30 @@ def compare_to_baseline(
     baseline: Dict[str, object],
     tolerance: float,
     count_tolerance: float,
+    wall_grace: float = 0.2,
 ) -> List[str]:
     """Regression list (empty = pass).  Only benchmarks present in both
-    runs are compared; a mode mismatch is itself a failure."""
+    runs are compared; a missing baseline mode is itself a failure."""
     failures: List[str] = []
-    if baseline.get("mode") != report.get("mode"):
+    entry = baseline_for_mode(baseline, report.get("mode"))
+    if entry is None:
         failures.append(
-            f"baseline mode {baseline.get('mode')!r} != run mode "
-            f"{report.get('mode')!r}; refresh the baseline"
+            f"baseline has no entry for mode {report.get('mode')!r}; "
+            "refresh it with --update-baseline"
         )
         return failures
-    base_benches = baseline.get("benchmarks", {})
+    base_benches = entry.get("benchmarks", {})
     for name, record in report["benchmarks"].items():
         base = base_benches.get(name)
         if base is None:
             continue
-        allowed = base["wall_time_s"] * (1.0 + tolerance)
+        # Relative tolerance plus a small absolute grace: sub-100ms
+        # benchmarks (quick mode) are dominated by scheduler noise, where
+        # a purely relative gate would flap.
+        allowed = max(
+            base["wall_time_s"] * (1.0 + tolerance),
+            base["wall_time_s"] + wall_grace,
+        )
         if record["wall_time_s"] > allowed:
             failures.append(
                 f"{name}: wall time {record['wall_time_s']:.3f}s exceeds "
@@ -329,6 +476,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="allowed relative counter regression (default 0.10)",
     )
     parser.add_argument(
+        "--wall-grace",
+        type=float,
+        default=0.2,
+        help="absolute wall-time slack in seconds on top of --tolerance "
+        "(absorbs scheduler noise on sub-100ms benchmarks; default 0.2)",
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="write this run's report to the baseline path",
@@ -347,20 +501,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
 
+    for artifact in export_observability_artifacts(args.mode, out.parent):
+        print(f"wrote {artifact}")
+
     failures = check_invariants(report)
     if args.check:
         if args.baseline.exists():
             baseline = json.loads(args.baseline.read_text())
             failures += compare_to_baseline(
-                report, baseline, args.tolerance, args.count_tolerance
+                report, baseline, args.tolerance, args.count_tolerance,
+                wall_grace=args.wall_grace,
             )
         else:
             failures.append(f"baseline {args.baseline} not found")
     if args.update_baseline:
+        existing: Dict[str, object] = {}
+        if args.baseline.exists():
+            existing = json.loads(args.baseline.read_text())
+        modes = existing.get("modes")
+        if not isinstance(modes, dict):
+            modes = {}
+            if isinstance(existing.get("mode"), str):  # legacy single-mode
+                modes[existing["mode"]] = existing
+        modes[args.mode] = report
         args.baseline.write_text(
-            json.dumps(report, indent=2, sort_keys=True) + "\n"
+            json.dumps({"schema": SCHEMA, "modes": modes}, indent=2,
+                       sort_keys=True) + "\n"
         )
-        print(f"baseline updated: {args.baseline}")
+        print(f"baseline updated: {args.baseline} (mode {args.mode!r})")
 
     if failures:
         print("REGRESSION CHECK FAILED:")

@@ -22,6 +22,8 @@ from typing import Dict, Optional
 from repro.core.mc import ConnectionSpec, ConnectionType, Role, default_role
 from repro.lsr.flooding import FloodingFabric
 from repro.lsr.router import bring_up_unicast
+from repro.obs import tracer as obs_tracer
+from repro.obs.attach import attach_network_metrics, network_spf_cache_stats
 from repro.sim.kernel import Simulator
 from repro.sim.process import Hold
 from repro.sim.resource import Facility
@@ -77,6 +79,8 @@ class BruteForceNetwork:
         #: Per-computation records (time, switch, connection), mirroring
         #: DgmcNetwork.computation_log for load-distribution analysis.
         self.computation_log: list = []
+        self.metrics = attach_network_metrics(self)
+        self.fabric.bind_metrics(self.metrics)
         for x in net.switches():
             self.fabric.register(x, self._deliver)
 
@@ -156,10 +160,25 @@ class BruteForceNetwork:
         self.computation_log.append(
             ComputationRecord(self.sim.now, switch, state.spec.connection_id)
         )
-        if members:
-            state.installed = state.algorithm.compute(image, members, previous)
-        else:
+        if not members:
             state.installed = McTopology.empty()
+        else:
+            tracer = obs_tracer.TRACER
+            if not tracer.enabled:
+                state.installed = state.algorithm.compute(image, members, previous)
+            else:
+                with tracer.span(
+                    "compute",
+                    cat="arbitration",
+                    tid=switch,
+                    sim_time=self.sim.now,
+                    protocol="brute-force",
+                    connection=state.spec.connection_id,
+                    members=len(members),
+                ):
+                    state.installed = state.algorithm.compute(
+                        image, members, previous
+                    )
         state.last_install_time = self.sim.now
 
     # -- inspection -----------------------------------------------------------
@@ -173,11 +192,7 @@ class BruteForceNetwork:
     def spf_cache_stats(self):
         """Aggregated SPF cache counters (kept apples-to-apples with
         :meth:`repro.core.protocol.DgmcNetwork.spf_cache_stats`)."""
-        from repro.lsr.spfcache import combined_stats
-
-        return combined_stats(
-            [r.lsdb.spf_stats for r in self.routers.values()] + [self.net.spf_stats]
-        )
+        return network_spf_cache_stats(self)
 
     def last_install_time(self, connection_id: int) -> float:
         times = [

@@ -25,6 +25,8 @@ from typing import Dict, Optional, Set, Tuple
 
 from repro.lsr.flooding import FloodingFabric
 from repro.lsr.router import bring_up_unicast
+from repro.obs import tracer as obs_tracer
+from repro.obs.attach import attach_network_metrics, network_spf_cache_stats
 from repro.sim.kernel import Simulator
 from repro.sim.process import Hold
 from repro.topo.graph import Network
@@ -96,6 +98,8 @@ class MospfNetwork:
         self.datagrams_sent = 0
         self.datagrams_delivered = 0
         self.events_injected = 0
+        self.metrics = attach_network_metrics(self)
+        self.fabric.bind_metrics(self.metrics)
         for x in net.switches():
             self.fabric.register(x, self._deliver)
 
@@ -148,7 +152,20 @@ class MospfNetwork:
             yield Hold(self.compute_time)
             self.total_computations += 1
             receivers = members - {source}
-            tree = source_rooted_tree(image, source, receivers)
+            tracer = obs_tracer.TRACER
+            if not tracer.enabled:
+                tree = source_rooted_tree(image, source, receivers)
+            else:
+                with tracer.span(
+                    "compute",
+                    cat="arbitration",
+                    tid=router,
+                    sim_time=self.sim.now,
+                    protocol="mospf",
+                    connection=group_id,
+                    members=len(members),
+                ):
+                    tree = source_rooted_tree(image, source, receivers)
             entry = _CacheEntry(tree)
             state.cache[key] = entry
         if router in state.members.get(group_id, ()):
@@ -196,8 +213,4 @@ class MospfNetwork:
     def spf_cache_stats(self):
         """Aggregated SPF cache counters (kept apples-to-apples with
         :meth:`repro.core.protocol.DgmcNetwork.spf_cache_stats`)."""
-        from repro.lsr.spfcache import combined_stats
-
-        return combined_stats(
-            [r.lsdb.spf_stats for r in self.routers.values()] + [self.net.spf_stats]
-        )
+        return network_spf_cache_stats(self)

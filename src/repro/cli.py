@@ -5,7 +5,12 @@ Commands:
 * ``figures``   -- regenerate the paper's Figures 6-8 (add ``--quick``),
 * ``compare``   -- the Section 4 D-GMC / MOSPF / brute-force comparison,
 * ``trace``     -- run a small conflict scenario and print the merged
-  protocol timeline plus the convergence profile,
+  protocol timeline plus the convergence profile; ``--export-trace``
+  writes a Chrome trace (chrome://tracing / Perfetto), ``--export-jsonl``
+  streams events as JSONL, ``--metrics`` dumps the Prometheus text of the
+  deployment's metrics registry,
+* ``profile``   -- per-phase (SPF / flooding / arbitration / kernel
+  overhead) wall-time breakdown of a representative run,
 * ``hierarchy`` -- flat vs hierarchical D-GMC LSA-scoping comparison.
 """
 
@@ -59,8 +64,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.tracer import JsonlSink, RingBufferSink, get_tracer
     from repro.topo.generators import waxman_network
     from repro.trace import build_timeline, convergence_profile, render_timeline
+
+    tracer = get_tracer()
+    jsonl_sink = None
+    tracing = bool(args.export_trace or args.export_jsonl)
+    if tracing:
+        sinks = [RingBufferSink()]
+        if args.export_jsonl:
+            jsonl_sink = JsonlSink(args.export_jsonl)
+            sinks.append(jsonl_sink)
+        tracer.reset()
+        tracer.configure(enabled=True, sinks=sinks)
 
     rng = random.Random(args.seed)
     net = waxman_network(args.switches, rng)
@@ -69,14 +86,44 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     dgmc.register_symmetric(1)
     for sw in rng.sample(range(net.n), args.members):
         dgmc.inject(JoinEvent(sw, 1), at=1.0 + rng.random())  # conflicting burst
-    dgmc.run()
+    try:
+        dgmc.run()
+    finally:
+        if tracing:
+            tracer.enabled = False
     ok, detail = dgmc.agreement(1)
     print(f"burst of {args.members} joins on {net.n} switches; agreement: {ok}\n")
     print(render_timeline(build_timeline(dgmc, connection_id=1), limit=args.limit))
     print("\nconvergence profile (switches settled over time):")
     for t, count in convergence_profile(dgmc, 1):
         print(f"  t={t:9.4f}  {count:3d}/{net.n}")
+    if args.export_trace:
+        written = tracer.export_chrome(args.export_trace)
+        print(f"\nwrote {written} trace events to {args.export_trace}")
+    if jsonl_sink is not None:
+        jsonl_sink.close()
+        print(f"wrote JSONL trace to {args.export_jsonl}")
+    if tracing:
+        tracer.configure(enabled=False, sinks=[])
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(dgmc.metrics.to_prometheus())
+        print(f"wrote metrics dump to {args.metrics}")
     return 0 if ok else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import run_profile
+
+    breakdown = run_profile(quick=args.quick, seed=args.seed)
+    print(breakdown.render())
+    if breakdown.coverage < 0.9:
+        print(
+            f"warning: phases cover only {breakdown.coverage:.1%} "
+            "of the measured wall time (expected >= 90%)"
+        )
+        return 1
+    return 0
 
 
 def _cmd_hierarchy(args: argparse.Namespace) -> int:
@@ -138,7 +185,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--switches", type=int, default=12)
     p.add_argument("--members", type=int, default=4)
     p.add_argument("--limit", type=int, default=40)
+    p.add_argument(
+        "--export-trace",
+        metavar="PATH",
+        help="write a Chrome trace JSON (chrome://tracing, Perfetto)",
+    )
+    p.add_argument(
+        "--export-jsonl",
+        metavar="PATH",
+        help="stream trace events as one JSON object per line",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write the metrics registry as Prometheus text",
+    )
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile", help="per-phase wall-time breakdown (SPF/flood/arbitration)"
+    )
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("hierarchy", help="flat vs hierarchical D-GMC")
     p.add_argument("--areas", type=int, default=4)

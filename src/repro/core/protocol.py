@@ -22,6 +22,7 @@ from repro.core.switch import DgmcSwitch
 from repro.lsr.flooding import FloodingFabric
 from repro.lsr.lsa import NonMcLsa
 from repro.lsr.router import UnicastRouter, bring_up_unicast
+from repro.obs.attach import attach_network_metrics, network_spf_cache_stats
 from repro.sim.kernel import Simulator
 from repro.topo.graph import Network
 
@@ -110,6 +111,15 @@ class DgmcNetwork:
         #: Switches currently failed ("nodal events"); they neither
         #: receive floods nor originate anything until revived.
         self.dead_switches: set = set()
+        #: Live metrics registry sampling this deployment's substrates.
+        self.metrics = attach_network_metrics(self)
+        self.fabric.bind_metrics(self.metrics)
+        self._dropped_lsas = self.metrics.counter(
+            "lsa_drops_total", "LSA deliveries dropped at failed switches"
+        )
+        self._duplicate_lsas = self.metrics.counter(
+            "lsa_duplicates_total", "stale non-MC LSAs rejected on receive"
+        )
         for x in net.switches():
             switch = DgmcSwitch(
                 self.sim,
@@ -142,11 +152,13 @@ class DgmcNetwork:
     def _deliver(self, switch_id: int, payload) -> None:
         """Fabric delivery hook: route LSAs to the right protocol layer."""
         if switch_id in self.dead_switches:
-            return  # a failed switch hears nothing
+            self._dropped_lsas.inc()  # a failed switch hears nothing
+            return
         if isinstance(payload, McLsa):
             self.switches[switch_id].deliver_mc_lsa(payload)
         elif isinstance(payload, NonMcLsa):
-            self.routers[switch_id].receive(payload)
+            if not self.routers[switch_id].receive(payload):
+                self._duplicate_lsas.inc()  # stale copy, already installed
         else:  # pragma: no cover - guards against harness bugs
             raise TypeError(f"unexpected flooded payload {payload!r}")
 
@@ -387,12 +399,8 @@ class DgmcNetwork:
 
     def spf_cache_stats(self):
         """Aggregated SPF cache counters across all routers' images and
-        the physical network's views."""
-        from repro.lsr.spfcache import combined_stats
-
-        return combined_stats(
-            [r.lsdb.spf_stats for r in self.routers.values()] + [self.net.spf_stats]
-        )
+        the physical network's views (read from the metrics registry)."""
+        return network_spf_cache_stats(self)
 
     def mc_floodings(self) -> int:
         return self.fabric.count_for("mc")

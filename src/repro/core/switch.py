@@ -54,6 +54,7 @@ from repro.core.mc import ConnectionSpec, Role, default_role
 from repro.core.state import McState
 from repro.core.timestamp import stamp_geq, stamp_gt
 from repro.lsr.router import UnicastRouter
+from repro.obs import tracer as obs_tracer
 from repro.sim.kernel import Simulator
 from repro.sim.mailbox import Mailbox
 from repro.sim.process import Hold, Receive
@@ -191,7 +192,18 @@ class DgmcSwitch:
             self.on_computation(self.switch_id, state.spec.connection_id)
         if not members:
             return McTopology.empty()
-        return state.algorithm.compute(image, members, previous)
+        tracer = obs_tracer.TRACER
+        if not tracer.enabled:
+            return state.algorithm.compute(image, members, previous)
+        with tracer.span(
+            "compute",
+            cat="arbitration",
+            tid=self.switch_id,
+            sim_time=self.sim.now,
+            connection=state.spec.connection_id,
+            members=len(members),
+        ):
+            return state.algorithm.compute(image, members, previous)
 
     # -- EventHandler() : Figure 4 ---------------------------------------------
 
@@ -260,19 +272,18 @@ class DgmcSwitch:
             if self._maybe_destroy(connection_id):
                 return
 
-    def _receive_lsa_body(
-        self, connection_id: int, state: McState, box: Mailbox, first: McLsa
+    def _drain_mailbox(
+        self,
+        state: McState,
+        box: Mailbox,
+        first: McLsa,
+        candidate: Optional[McTopology],
+        candidate_stamp,
+        candidate_proposer: int,
     ):
-        """One invocation of the ReceiveLSA() algorithm (Figure 5)."""
+        """Figure 5 lines 3-18: consume every queued LSA, pick the candidate."""
         x = self.switch_id
-        # Lines 1-2.  The candidate starts as "the installed topology":
-        # a proposal must beat (stamp, proposer) of what is installed.
-        candidate: Optional[McTopology] = None
-        candidate_stamp = state.current_stamp
-        candidate_proposer = state.current_proposer
         pending: deque[McLsa] = deque([first])
-
-        # Lines 3-18: consume every LSA currently in the mailbox.
         while pending or not box.empty:
             if pending:
                 lsa = pending.popleft()
@@ -299,6 +310,39 @@ class DgmcSwitch:
                     candidate_proposer = lsa.source
             elif state.received[x] > lsa.timestamp[x]:  # lines 15-16
                 state.make_proposal_flag = True
+        return candidate, candidate_stamp, candidate_proposer
+
+    def _receive_lsa_body(
+        self, connection_id: int, state: McState, box: Mailbox, first: McLsa
+    ):
+        """One invocation of the ReceiveLSA() algorithm (Figure 5)."""
+        x = self.switch_id
+        # Lines 1-2.  The candidate starts as "the installed topology":
+        # a proposal must beat (stamp, proposer) of what is installed.
+        candidate: Optional[McTopology] = None
+        candidate_stamp = state.current_stamp
+        candidate_proposer = state.current_proposer
+
+        # Lines 3-18: consume every LSA currently in the mailbox.  The drain
+        # loop is synchronous, so it may live inside one span; the triggered
+        # computation below yields simulated time and must not.
+        tracer = obs_tracer.TRACER
+        if not tracer.enabled:
+            candidate, candidate_stamp, candidate_proposer = self._drain_mailbox(
+                state, box, first, candidate, candidate_stamp, candidate_proposer
+            )
+        else:
+            with tracer.span(
+                "receive_lsa",
+                cat="arbitration",
+                tid=x,
+                sim_time=self.sim.now,
+                connection=connection_id,
+            ) as span:
+                candidate, candidate_stamp, candidate_proposer = self._drain_mailbox(
+                    state, box, first, candidate, candidate_stamp, candidate_proposer
+                )
+                span.args["adopted_proposal"] = candidate is not None
 
         # Lines 19-31: decide whether to compute a triggered proposal.
         if (
@@ -334,12 +378,35 @@ class DgmcSwitch:
                 # the liveness hole; see deviation 3 in the module
                 # docstring and DESIGN.md.
                 state.proposals_withdrawn += 1
+                if tracer.enabled:
+                    tracer.instant(
+                        "withdraw",
+                        cat="arbitration",
+                        tid=x,
+                        sim_time=self.sim.now,
+                        connection=connection_id,
+                    )
 
         # Lines 32-35: accept the surviving candidate.
         if candidate is not None:
             self._install(state, candidate, candidate_stamp, candidate_proposer)
 
     def _install(self, state: McState, topology, stamp, proposer: int) -> None:
+        tracer = obs_tracer.TRACER
+        if not tracer.enabled:
+            return self._install_body(state, topology, stamp, proposer)
+        with tracer.span(
+            "install",
+            cat="arbitration",
+            tid=self.switch_id,
+            sim_time=self.sim.now,
+            connection=state.spec.connection_id,
+            stamp_total=sum(stamp),
+            proposer=proposer,
+        ):
+            return self._install_body(state, topology, stamp, proposer)
+
+    def _install_body(self, state: McState, topology, stamp, proposer: int) -> None:
         state.install(topology, stamp, self.sim.now, proposer=proposer)
         if self.on_install is not None:
             self.on_install(

@@ -20,14 +20,8 @@ from repro.baselines.mospf import MospfNetwork
 from repro.core.events import JoinEvent, LeaveEvent
 from repro.core.mc import Role
 from repro.core.protocol import DgmcNetwork, ProtocolConfig
-from repro.lsr.spf import RUN_COUNTER
 from repro.metrics.collector import TrialMetrics
 from repro.workloads.scenario import Scenario
-
-
-def _spf_counters(network) -> tuple:
-    """Snapshot (dijkstra runs, cache stats) for harvest differencing."""
-    return RUN_COUNTER.count, network.spf_cache_stats()
 
 
 def _register(dgmc: DgmcNetwork, scenario: Scenario) -> None:
@@ -80,7 +74,7 @@ def run_dgmc_trial(scenario: Scenario) -> TrialMetrics:
     events0 = dgmc.mc_event_count
     comps0 = dgmc.total_computations()
     floods0 = dgmc.mc_floodings()
-    runs0, spf0 = _spf_counters(dgmc)
+    snap0 = dgmc.metrics.snapshot()
 
     # Phase 2: the measured workload.
     t0 = dgmc.sim.now + 4.0 * round_length
@@ -100,7 +94,6 @@ def run_dgmc_trial(scenario: Scenario) -> TrialMetrics:
     assert dgmc.quiescent(), "measured phase did not quiesce"
 
     agreed, _ = dgmc.agreement(m)
-    spf = dgmc.spf_cache_stats() - spf0
     return TrialMetrics(
         events=dgmc.mc_event_count - events0,
         computations=dgmc.total_computations() - comps0,
@@ -110,10 +103,7 @@ def run_dgmc_trial(scenario: Scenario) -> TrialMetrics:
         round_length=round_length,
         agreed=agreed,
         protocol="dgmc",
-        dijkstra_runs=RUN_COUNTER.count - runs0,
-        spf_hits=spf.hits,
-        spf_misses=spf.misses,
-        spf_invalidations=spf.invalidations,
+        metrics=dgmc.metrics.delta(snap0),
     )
 
 
@@ -141,7 +131,7 @@ def run_brute_force_trial(scenario: Scenario) -> TrialMetrics:
     events0 = bf.events_injected
     comps0 = bf.total_computations
     floods0 = bf.mc_floodings()
-    runs0, spf0 = _spf_counters(bf)
+    snap0 = bf.metrics.snapshot()
 
     t0 = bf.sim.now + 4.0 * round_length
     first_event_time = None
@@ -155,7 +145,6 @@ def run_brute_force_trial(scenario: Scenario) -> TrialMetrics:
             bf.inject_leave(ev.switch, m, at=at)
     bf.run()
 
-    spf = bf.spf_cache_stats() - spf0
     return TrialMetrics(
         events=bf.events_injected - events0,
         computations=bf.total_computations - comps0,
@@ -165,10 +154,7 @@ def run_brute_force_trial(scenario: Scenario) -> TrialMetrics:
         round_length=round_length,
         agreed=bf.agreement(m),
         protocol="brute-force",
-        dijkstra_runs=RUN_COUNTER.count - runs0,
-        spf_hits=spf.hits,
-        spf_misses=spf.misses,
-        spf_invalidations=spf.invalidations,
+        metrics=bf.metrics.delta(snap0),
     )
 
 
@@ -211,7 +197,7 @@ def run_mospf_trial(
     events0 = mo.events_injected
     comps0 = mo.total_computations
     floods0 = mo.mc_floodings()
-    runs0, spf0 = _spf_counters(mo)
+    snap0 = mo.metrics.snapshot()
 
     t0 = mo.sim.now + 4.0 * round_length
     first_event_time = None
@@ -227,7 +213,6 @@ def run_mospf_trial(
             mo.send_datagram(s, m, at=at + datagram_gap)
     mo.run()
 
-    spf = mo.spf_cache_stats() - spf0
     return TrialMetrics(
         events=mo.events_injected - events0,
         computations=mo.total_computations - comps0,
@@ -237,8 +222,5 @@ def run_mospf_trial(
         round_length=round_length,
         agreed=True,
         protocol="mospf",
-        dijkstra_runs=RUN_COUNTER.count - runs0,
-        spf_hits=spf.hits,
-        spf_misses=spf.misses,
-        spf_invalidations=spf.invalidations,
+        metrics=mo.metrics.delta(snap0),
     )

@@ -12,6 +12,7 @@ from typing import Callable, List, Sequence
 
 from repro.metrics.collector import TrialMetrics
 from repro.metrics.stats import Aggregate, aggregate
+from repro.obs.metrics import merge_sum
 from repro.sim.rng import RngRegistry
 from repro.workloads.scenario import Scenario
 
@@ -50,6 +51,11 @@ class SweepRow:
     @property
     def dijkstra_runs(self) -> int:
         return sum(t.dijkstra_runs for t in self.trials)
+
+    @property
+    def metric_totals(self) -> dict:
+        """Registry sample deltas summed across the row's trials."""
+        return merge_sum(t.metrics for t in self.trials)
 
     @property
     def all_agreed(self) -> bool:

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from repro.lsr import spf
+from repro.obs import tracer as obs_tracer
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.sim.kernel import Simulator
 from repro.topo.graph import Network
 
@@ -74,6 +76,28 @@ class FloodingFabric:
         #: (fixed per-hop timing floods one BFS per event otherwise).
         self._hops_cache: Dict[int, Dict[int, int]] = {}
         self._hops_version = -1
+        #: Optional per-flood histograms, created by :meth:`bind_metrics`.
+        self._fanout_hist: Optional[Histogram] = None
+        self._hops_hist: Optional[Histogram] = None
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Observe per-flood distributions into ``registry``.
+
+        Fan-out (deliveries per flooding operation) is always recorded;
+        per-delivery hop counts only under fixed per-hop timing, where
+        they are known without extra SPF work.
+        """
+        self._fanout_hist = registry.histogram(
+            "flood_fanout",
+            "deliveries scheduled per flooding operation",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
+        if self.per_hop_delay is not None:
+            self._hops_hist = registry.histogram(
+                "flood_hops",
+                "hop count of each scheduled LSA delivery",
+                buckets=(1, 2, 3, 4, 6, 8, 12, 16),
+            )
 
     def register(self, switch_id: int, deliver: DeliverFn) -> None:
         """Install the delivery hook for ``switch_id`` (one per switch)."""
@@ -112,6 +136,17 @@ class FloodingFabric:
         at its earliest arrival time, and bumps the per-kind flood counter.
         Returns the :class:`FloodDelivery` record.
         """
+        tracer = obs_tracer.TRACER
+        if not tracer.enabled:
+            return self._flood(origin, payload, kind)
+        with tracer.span(
+            "flood", cat="flood", tid=origin, sim_time=self.sim.now, kind=kind
+        ) as span:
+            record = self._flood(origin, payload, kind)
+            span.args["fanout"] = len(record.arrivals)
+            return record
+
+    def _flood(self, origin: int, payload: Any, kind: str) -> FloodDelivery:
         self.flood_counts[kind] = self.flood_counts.get(kind, 0) + 1
         record = FloodDelivery(origin, kind, self.sim.now, payload)
         for switch, delay in sorted(self.arrival_times(origin).items()):
@@ -122,7 +157,11 @@ class FloodingFabric:
                 continue
             record.arrivals[switch] = self.sim.now + delay
             self.delivery_count += 1
+            if self._hops_hist is not None:
+                self._hops_hist.observe(round(delay / self.per_hop_delay))
             self.sim.schedule(delay, lambda h=hook, s=switch, p=payload: h(s, p))
+        if self._fanout_hist is not None:
+            self._fanout_hist.observe(len(record.arrivals))
         if self.record_history:
             self.history.append(record)
         return record

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional
 
 from repro.lsr.lsa import RouterLsa
-from repro.lsr.spfcache import CacheStats, wrap_image
+from repro.lsr.spfcache import CacheStats, count_invalidation, wrap_image
 
 
 class LinkStateDatabase:
@@ -43,7 +43,7 @@ class LinkStateDatabase:
         self._entries[lsa.origin] = lsa
         if self._image is not None:
             self._image = None
-            self.spf_stats.invalidations += 1
+            count_invalidation(self.spf_stats)
         self.installs += 1
         return True
 

@@ -19,6 +19,9 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Mapping, Optional
 
+from repro.obs import tracer as obs_tracer
+from repro.obs.metrics import REGISTRY as _GLOBAL_REGISTRY
+
 
 Adjacency = Mapping[int, Mapping[int, float]]
 
@@ -39,6 +42,14 @@ class RunCounter:
 
 
 RUN_COUNTER = RunCounter()
+
+
+@_GLOBAL_REGISTRY.register_collector
+def _collect_dijkstra_runs(reg) -> None:
+    reg.counter(
+        "spf_dijkstra_runs_total",
+        "process-wide full Dijkstra executions (cached misses and uncached calls)",
+    ).set_total(RUN_COUNTER.count)
 
 
 def network_adjacency(net, include_down: bool = False) -> Dict[int, Dict[int, float]]:
@@ -70,8 +81,22 @@ def dijkstra(
 def dijkstra_uncached(
     adj: Adjacency, source: int
 ) -> tuple[Dict[int, float], Dict[int, Optional[int]]]:
-    """The raw Dijkstra run (no memoization); counts into RUN_COUNTER."""
+    """The raw Dijkstra run (no memoization); counts into RUN_COUNTER.
+
+    When tracing is enabled, each run is a ``dijkstra`` span (category
+    ``spf``) -- the SPF slice of the ``repro profile`` phase breakdown.
+    """
     RUN_COUNTER.count += 1
+    tracer = obs_tracer.TRACER
+    if not tracer.enabled:
+        return _dijkstra_body(adj, source)
+    with tracer.span("dijkstra", cat="spf", source=source, nodes=len(adj)):
+        return _dijkstra_body(adj, source)
+
+
+def _dijkstra_body(
+    adj: Adjacency, source: int
+) -> tuple[Dict[int, float], Dict[int, Optional[int]]]:
     dist: Dict[int, float] = {}
     parent: Dict[int, Optional[int]] = {}
     # Heap entries: (distance, tie-break parent id, node, parent).

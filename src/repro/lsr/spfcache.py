@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.lsr.spf import dijkstra_uncached
+from repro.obs.metrics import REGISTRY as _GLOBAL_REGISTRY
 
 _enabled = True
 
@@ -127,6 +128,37 @@ def combined_stats(parts: Iterable[Optional[CacheStats]]) -> CacheStats:
     return total
 
 
+#: Process-wide cache counters, mirrored alongside every per-producer
+#: :class:`CacheStats` so the global metrics registry can expose SPF
+#: cache behavior without enumerating live caches.
+GLOBAL_STATS = CacheStats()
+
+
+def count_invalidation(stats: Optional[CacheStats]) -> None:
+    """Record one image invalidation on ``stats`` and the global mirror."""
+    if stats is not None:
+        stats.invalidations += 1
+    GLOBAL_STATS.invalidations += 1
+
+
+@_GLOBAL_REGISTRY.register_collector
+def _collect_cache_totals(reg) -> None:
+    reg.counter(
+        "spf_cache_hits_total", "process-wide SPF cache hits"
+    ).set_total(GLOBAL_STATS.hits)
+    reg.counter(
+        "spf_cache_misses_total", "process-wide SPF cache misses"
+    ).set_total(GLOBAL_STATS.misses)
+    reg.counter(
+        "spf_cache_invalidations_total",
+        "process-wide SPF cache image invalidations",
+    ).set_total(GLOBAL_STATS.invalidations)
+    reg.counter(
+        "spf_cache_full_runs_total",
+        "process-wide full Dijkstra executions performed by caches",
+    ).set_total(GLOBAL_STATS.full_runs)
+
+
 class SpfCache(MappingABC):
     """An adjacency mapping with memoized SPF results.
 
@@ -191,9 +223,12 @@ class SpfCache(MappingABC):
         entry = self._sssp.get(source)
         if entry is not None:
             self.stats.hits += 1
+            GLOBAL_STATS.hits += 1
             return entry
         self.stats.misses += 1
         self.stats.full_runs += 1
+        GLOBAL_STATS.misses += 1
+        GLOBAL_STATS.full_runs += 1
         entry = dijkstra_uncached(self._adj, source)
         self._sssp[source] = entry
         return entry
@@ -203,6 +238,7 @@ class SpfCache(MappingABC):
         table = self._tables.get(source)
         if table is not None:
             self.stats.hits += 1
+            GLOBAL_STATS.hits += 1
             return table
         dist, parent = self.sssp(source)
         table = {}
@@ -221,6 +257,7 @@ class SpfCache(MappingABC):
         value = self._ecc.get(node)
         if value is not None:
             self.stats.hits += 1
+            GLOBAL_STATS.hits += 1
             return value
         dist, _ = self.sssp(node)
         value = max(dist.values()) if dist else 0.0

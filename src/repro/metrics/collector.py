@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.obs import attach
 
 
 @dataclass
@@ -12,6 +15,11 @@ class TrialMetrics:
     The "per event" ratios use the paper's denominator: the number of
     injected MC events (membership changes, plus one per affected
     connection for link events).
+
+    ``metrics`` holds the network registry's sample deltas over the
+    measured phase (see :mod:`repro.obs.attach` for the sample names);
+    the SPF counters below are read-only views into it, kept for the
+    sweep/benchmark call sites that predate the registry.
     """
 
     events: int
@@ -27,13 +35,8 @@ class TrialMetrics:
     agreed: bool = True
     #: Free-form protocol label ("dgmc", "mospf", "brute-force", ...).
     protocol: str = "dgmc"
-    #: Full Dijkstra executions during the measured phase (cache misses
-    #: plus uncached calls; see repro.lsr.spf.RUN_COUNTER).
-    dijkstra_runs: int = 0
-    #: SPF cache counters during the measured phase.
-    spf_hits: int = 0
-    spf_misses: int = 0
-    spf_invalidations: int = 0
+    #: Registry sample deltas for the measured phase.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def computations_per_event(self) -> float:
@@ -54,6 +57,25 @@ class TrialMetrics:
         if self.round_length <= 0:
             return 0.0
         return self.convergence_time / self.round_length
+
+    # -- registry-backed SPF counters --------------------------------------
+
+    @property
+    def dijkstra_runs(self) -> int:
+        """Full Dijkstra executions during the measured phase."""
+        return int(self.metrics.get(attach.DIJKSTRA_RUNS, 0))
+
+    @property
+    def spf_hits(self) -> int:
+        return int(self.metrics.get(attach.SPF_HITS, 0))
+
+    @property
+    def spf_misses(self) -> int:
+        return int(self.metrics.get(attach.SPF_MISSES, 0))
+
+    @property
+    def spf_invalidations(self) -> int:
+        return int(self.metrics.get(attach.SPF_INVALIDATIONS, 0))
 
     @property
     def spf_hit_rate(self) -> float:

@@ -1,0 +1,41 @@
+"""Unified instrumentation layer: structured tracing + metrics registry.
+
+Zero-dependency observability spine for the reproduction (see
+``docs/observability.md``):
+
+* :mod:`repro.obs.tracer` -- process-wide :data:`~repro.obs.tracer.TRACER`
+  emitting span/instant events (sim-time *and* wall-time) to ring-buffer /
+  JSONL sinks, exportable as Chrome ``trace_event`` JSON for Perfetto.
+* :mod:`repro.obs.metrics` -- :class:`~repro.obs.metrics.MetricsRegistry`
+  of counters/gauges/histograms with a Prometheus text dump, snapshot and
+  delta APIs, and lazy collectors.
+* :mod:`repro.obs.attach` -- wires a per-network registry onto the
+  protocol stacks (SPF cache counters, flood counters, kernel gauges).
+* :mod:`repro.obs.profile` -- the per-phase wall-time breakdown behind
+  ``python -m repro profile``.
+
+Only ``metrics`` and ``tracer`` are imported eagerly; both are stdlib-only
+leaves, so any module (including the sim kernel) may import them without
+cycles.  ``attach`` and ``profile`` reach back into the protocol stack and
+must be imported explicitly.
+"""
+
+from repro.obs.metrics import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+# NOTE: ``TRACER`` itself is deliberately not re-exported -- a from-import
+# would bind a stale reference across ``use_tracer`` swaps.  Read it as
+# ``repro.obs.tracer.TRACER`` or via :func:`get_tracer`.
+from repro.obs.tracer import (  # noqa: F401
+    JsonlSink,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    use_tracer,
+)

@@ -1,0 +1,114 @@
+"""Wire a :class:`~repro.obs.metrics.MetricsRegistry` onto a protocol network.
+
+All three protocol stacks (:class:`~repro.core.protocol.DgmcNetwork`,
+:class:`~repro.baselines.mospf.MospfNetwork`,
+:class:`~repro.baselines.brute_force.BruteForceNetwork`) expose the same
+substrate surface -- ``routers`` (unicast routers with per-LSDB SPF cache
+stats), ``net`` (the physical :class:`~repro.topo.graph.Network`),
+``fabric`` (the flooding fabric), and ``sim`` (the kernel).  This module
+duck-types on that surface so the metrics plumbing exists exactly once:
+
+* :func:`attach_network_metrics` builds the per-network registry and
+  registers one collector that samples the SPF cache counters, the flood
+  counters, and the kernel's dispatch/queue state on every snapshot.
+* :func:`network_spf_cache_stats` is the single implementation behind the
+  networks' ``spf_cache_stats()`` methods: it reads the registry snapshot
+  (not hand-threaded fields) and rehydrates a
+  :class:`~repro.lsr.spfcache.CacheStats` for backward-compatible
+  arithmetic (the harness diffs stats across trial phases).
+
+Imports of the protocol stack stay inside functions, keeping
+``repro.obs`` importable from the lowest layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["attach_network_metrics", "network_spf_cache_stats"]
+
+#: Sample names the network collector maintains (shared with TrialMetrics).
+SPF_HITS = "spf_cache_hits_total"
+SPF_MISSES = "spf_cache_misses_total"
+SPF_INVALIDATIONS = "spf_cache_invalidations_total"
+SPF_FULL_RUNS = "spf_cache_full_runs_total"
+DIJKSTRA_RUNS = "spf_dijkstra_runs_total"
+COMPUTATIONS = "computations_total"
+FLOOD_OPERATIONS = "flood_operations_total"
+LSA_DELIVERIES = "lsa_deliveries_total"
+EVENTS_DISPATCHED = "sim_events_dispatched_total"
+QUEUE_DEPTH = "sim_queue_depth"
+SIM_NOW = "sim_now"
+
+
+def _combined_cache_stats(network):
+    from repro.lsr.spfcache import combined_stats
+
+    return combined_stats(
+        [r.lsdb.spf_stats for r in network.routers.values()]
+        + [network.net.spf_stats]
+    )
+
+
+def attach_network_metrics(
+    network, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Create (or extend) a registry sampling ``network``'s substrates.
+
+    The returned registry is live: every :meth:`~MetricsRegistry.snapshot`
+    / :meth:`~MetricsRegistry.to_prometheus` re-samples the network, so
+    callers diff snapshots around a phase instead of threading counters by
+    hand.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+
+    def _collect(reg: MetricsRegistry) -> None:
+        from repro.lsr.spf import RUN_COUNTER
+
+        stats = _combined_cache_stats(network)
+        reg.counter(SPF_HITS, "SPF cache hits across LSDB images and "
+                    "network views").set_total(stats.hits)
+        reg.counter(SPF_MISSES, "SPF cache misses").set_total(stats.misses)
+        reg.counter(SPF_INVALIDATIONS, "SPF cache image invalidations "
+                    "(LSA installs, link state changes)").set_total(
+                        stats.invalidations)
+        reg.counter(SPF_FULL_RUNS, "full Dijkstra executions on behalf of "
+                    "this network's caches").set_total(stats.full_runs)
+        reg.counter(DIJKSTRA_RUNS, "process-wide full Dijkstra executions "
+                    "(cached misses and uncached calls)").set_total(
+                        RUN_COUNTER.count)
+        reg.counter(FLOOD_OPERATIONS, "flooding operations initiated, all "
+                    "kinds").set_total(network.fabric.total_floods)
+        reg.counter(LSA_DELIVERIES, "individual LSA deliveries scheduled "
+                    "by the fabric").set_total(network.fabric.delivery_count)
+        reg.counter(EVENTS_DISPATCHED, "simulation kernel events "
+                    "dispatched").set_total(network.sim.events_dispatched)
+        reg.gauge(QUEUE_DEPTH, "pending entries in the kernel event "
+                  "heap").set(network.sim.queue_depth)
+        reg.gauge(SIM_NOW, "current simulated time").set(network.sim.now)
+        comps = getattr(network, "total_computations", None)
+        if comps is not None:
+            reg.counter(COMPUTATIONS, "topology computations performed"
+                        ).set_total(comps() if callable(comps) else comps)
+
+    reg.register_collector(_collect)
+    return reg
+
+
+def network_spf_cache_stats(network):
+    """``spf_cache_stats()`` for any protocol network, via its registry.
+
+    Returns a :class:`~repro.lsr.spfcache.CacheStats` rebuilt from the
+    registry snapshot so existing callers keep their diff arithmetic.
+    """
+    from repro.lsr.spfcache import CacheStats
+
+    snap = network.metrics.snapshot()
+    return CacheStats(
+        hits=int(snap.get(SPF_HITS, 0)),
+        misses=int(snap.get(SPF_MISSES, 0)),
+        invalidations=int(snap.get(SPF_INVALIDATIONS, 0)),
+        full_runs=int(snap.get(SPF_FULL_RUNS, 0)),
+    )

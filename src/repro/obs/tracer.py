@@ -1,0 +1,336 @@
+"""Structured event tracing: spans and instants, sim-time and wall-time.
+
+The process-wide :data:`TRACER` is disabled by default; every hot-path
+hook is guarded by a single ``TRACER.enabled`` attribute check, so the
+instrumented build costs nothing measurable when tracing is off (the
+``tracing_overhead`` benchmark in ``benchmarks/regress.py`` gates this).
+
+When enabled, the tracer produces :class:`TraceEvent` records carrying
+
+* ``ts`` / ``dur`` -- **wall** microseconds from a monotonic
+  ``perf_counter`` epoch (what Chrome/Perfetto render on the time axis),
+* ``sim_ts`` -- the **simulated** time at which the span opened (carried
+  in ``args`` on export, since the two clocks are incommensurable),
+* ``pid`` / ``tid`` -- logical process/thread ids; by convention ``tid``
+  is the switch id for protocol work and 0 for the kernel.
+
+Events flow to pluggable sinks:
+
+* :class:`RingBufferSink` -- bounded in-memory buffer (eviction counted),
+* :class:`JsonlSink` -- one Chrome-format JSON object per line, streamed,
+* :meth:`Tracer.export_chrome` -- ``{"traceEvents": [...]}`` JSON
+  loadable in Perfetto / ``chrome://tracing``.
+
+Independent of sinks, the tracer accumulates **per-category self time**
+(span duration minus enclosed spans) into :attr:`Tracer.phase_self`,
+which the ``python -m repro profile`` command turns into the
+SPF / flooding / arbitration / kernel-overhead breakdown.
+
+The module is stdlib-only and single-thread oriented (the simulator is
+single-threaded); it must stay a leaf import for the sim kernel.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
+
+__all__ = [
+    "TraceEvent",
+    "RingBufferSink",
+    "JsonlSink",
+    "Tracer",
+    "TRACER",
+    "get_tracer",
+    "use_tracer",
+]
+
+
+@dataclass
+class TraceEvent:
+    """One trace record (Chrome ``trace_event`` phases ``X``/``i``/``M``)."""
+
+    name: str
+    cat: str
+    ph: str  # "X" complete span, "i" instant, "M" metadata
+    ts: float  # wall microseconds since the tracer epoch
+    dur: float = 0.0  # wall microseconds ("X" only)
+    pid: int = 0
+    tid: int = 0
+    sim_ts: Optional[float] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The Chrome trace-event JSON object for this record."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat or "default",
+            "ph": self.ph,
+            "ts": self.ts,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.ph == "X":
+            out["dur"] = self.dur
+        elif self.ph == "i":
+            out["s"] = "t"  # thread-scoped instant
+        args = dict(self.args)
+        if self.sim_ts is not None:
+            args["sim_time"] = self.sim_ts
+        if args:
+            out["args"] = args
+        return out
+
+
+class RingBufferSink:
+    """Keep the newest ``capacity`` events; count what was evicted."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        self.capacity = capacity
+        self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self.evicted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if len(self._buffer) == self.capacity:
+            self.evicted += 1
+        self._buffer.append(event)
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._buffer)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlSink:
+    """Stream events as one Chrome-format JSON object per line."""
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+
+    def emit(self, event: TraceEvent) -> None:
+        self._file.write(json.dumps(event.to_chrome(), sort_keys=True))
+        self._file.write("\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+
+class _Span:
+    """Context manager for one span; measures and emits on exit."""
+
+    __slots__ = ("tracer", "name", "cat", "tid", "sim_ts", "args", "start", "children")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, tid: int,
+                 sim_ts: Optional[float], args: Dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.sim_ts = sim_ts
+        self.args = args
+        self.start = 0.0
+        self.children = 0.0  # wall seconds spent in enclosed spans
+
+    def __enter__(self) -> "_Span":
+        self.start = perf_counter()
+        self.tracer._stack.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        end = perf_counter()
+        tracer = self.tracer
+        stack = tracer._stack
+        # Tolerate mispaired exits defensively: pop back to this span.
+        while stack and stack[-1] is not self:  # pragma: no cover - misuse
+            stack.pop()
+        if stack:
+            stack.pop()
+        dur = end - self.start
+        if stack:
+            stack[-1].children += dur
+        cat = self.cat
+        tracer.phase_self[cat] = tracer.phase_self.get(cat, 0.0) + (
+            dur - self.children
+        )
+        if tracer._sinks:
+            tracer._emit(
+                TraceEvent(
+                    name=self.name,
+                    cat=cat,
+                    ph="X",
+                    ts=(self.start - tracer._epoch) * 1e6,
+                    dur=dur * 1e6,
+                    pid=tracer.pid,
+                    tid=self.tid,
+                    sim_ts=self.sim_ts,
+                    args=self.args,
+                )
+            )
+
+
+class Tracer:
+    """Span/instant recorder with pluggable sinks and phase accounting."""
+
+    def __init__(self, enabled: bool = False, pid: int = 0,
+                 process_name: str = "repro") -> None:
+        self.enabled = enabled
+        self.pid = pid
+        self.process_name = process_name
+        self._sinks: List[Any] = []
+        self._epoch = perf_counter()
+        self._stack: List[_Span] = []
+        #: category -> accumulated span *self* time, wall seconds.
+        self.phase_self: Dict[str, float] = {}
+        self.events_emitted = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def configure(
+        self,
+        enabled: Optional[bool] = None,
+        sinks: Optional[Iterable[Any]] = None,
+    ) -> "Tracer":
+        """Change the enabled flag and/or replace the sink list."""
+        if sinks is not None:
+            self._sinks = list(sinks)
+        if enabled is not None:
+            self.enabled = enabled
+        return self
+
+    def add_sink(self, sink: Any) -> Any:
+        self._sinks.append(sink)
+        return sink
+
+    def reset(self) -> None:
+        """Clear phase totals, the span stack, and the wall epoch.
+
+        Sinks are kept; their contents are the sinks' business.
+        """
+        self._epoch = perf_counter()
+        self._stack.clear()
+        self.phase_self.clear()
+        self.events_emitted = 0
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, cat: str = "", tid: int = 0,
+             sim_time: Optional[float] = None, **args: Any) -> _Span:
+        """A context manager timing one synchronous block.
+
+        Only call when :attr:`enabled` is true (hot paths check the flag
+        first and skip the call entirely); spans must not cross simulation
+        yields -- wrap synchronous work only.
+        """
+        return _Span(self, name, cat, tid, sim_time, args)
+
+    def instant(self, name: str, cat: str = "", tid: int = 0,
+                sim_time: Optional[float] = None, **args: Any) -> None:
+        """Record a zero-duration event."""
+        if not self._sinks:
+            return
+        self._emit(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph="i",
+                ts=(perf_counter() - self._epoch) * 1e6,
+                pid=self.pid,
+                tid=tid,
+                sim_ts=sim_time,
+                args=args,
+            )
+        )
+
+    def _emit(self, event: TraceEvent) -> None:
+        self.events_emitted += 1
+        for sink in self._sinks:
+            sink.emit(event)
+
+    # -- inspection / export -----------------------------------------------
+
+    def _ring(self) -> RingBufferSink:
+        for sink in self._sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink
+        raise LookupError("no RingBufferSink attached to this tracer")
+
+    def events(self) -> List[TraceEvent]:
+        """Events held by the first ring-buffer sink."""
+        return self._ring().events()
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome trace dict for the ring-buffered events."""
+        ring = self._ring()
+        meta = [
+            TraceEvent(
+                name="process_name", cat="__metadata", ph="M", ts=0.0,
+                pid=self.pid, args={"name": self.process_name},
+            )
+        ]
+        trace = {
+            "traceEvents": [e.to_chrome() for e in meta + ring.events()],
+            "displayTimeUnit": "ms",
+        }
+        if ring.evicted:
+            trace["metadata"] = {"evicted_events": ring.evicted}
+        return trace
+
+    def export_chrome(self, path: str) -> int:
+        """Write the ring-buffered events as Chrome trace JSON.
+
+        Returns the number of events written (excluding metadata).
+        """
+        ring = self._ring()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.chrome_trace(), fh, indent=None, sort_keys=True)
+            fh.write("\n")
+        return len(ring)
+
+    def phase_breakdown(self) -> Dict[str, float]:
+        """Copy of the per-category self-time totals (wall seconds)."""
+        return dict(self.phase_self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "on" if self.enabled else "off"
+        return f"Tracer({state}, sinks={len(self._sinks)}, emitted={self.events_emitted})"
+
+
+#: The process-wide tracer every instrumentation hook consults.  Hooks
+#: read it as ``tracer_module.TRACER`` (attribute access, not a from-
+#: import) so :func:`use_tracer` swaps are visible everywhere.
+TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return TRACER
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Temporarily install ``tracer`` as the process-wide tracer."""
+    global TRACER
+    previous = TRACER
+    TRACER = tracer
+    try:
+        yield tracer
+    finally:
+        TRACER = previous

@@ -179,7 +179,9 @@ class Network:
         if self._spf_views:
             self._spf_views.clear()
             if self.spf_stats is not None:
-                self.spf_stats.invalidations += 1
+                from repro.lsr.spfcache import count_invalidation
+
+                count_invalidation(self.spf_stats)
 
     def spf_view(self, include_down: bool = False):
         """A memoizing adjacency view (delays as weights) of this network.

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -30,6 +31,13 @@ def build_timeline(
     and install entries are always available.  ``connection_id`` filters
     to one MC.
     """
+    if not dgmc.fabric.record_history and dgmc.fabric.total_floods:
+        warnings.warn(
+            "build_timeline: the flooding fabric ran with record_history "
+            "disabled, so the timeline will contain no flood entries; set "
+            "dgmc.fabric.record_history = True before running the simulation",
+            stacklevel=2,
+        )
     entries: List[TimelineEntry] = []
     for rec in dgmc.computation_log:
         if connection_id is not None and rec.connection_id != connection_id:

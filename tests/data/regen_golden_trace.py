@@ -1,0 +1,44 @@
+"""Regenerate ``golden_trace.json`` from the two-join ring scenario.
+
+Run from the repository root after an *intentional* change to the
+instrumentation points (new spans, renamed categories, different
+workload), then commit the refreshed file together with the change:
+
+    PYTHONPATH=src python tests/data/regen_golden_trace.py
+
+The file pins the deterministic projection of the traced scenario --
+event names, categories, switch tids, and simulated timestamps in
+emission order -- so accidental changes to what gets traced fail
+``tests/test_obs.py::TestGoldenTrace``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))
+
+from tests.test_obs import ring_deployment, traced_run  # noqa: E402
+
+
+def main() -> None:
+    tracer = traced_run(ring_deployment())
+    events = tracer.events()
+    projection = {
+        "kernel_events": sum(1 for e in events if e.cat == "kernel"),
+        "events": [
+            [e.name, e.cat, e.tid, e.sim_ts] for e in events if e.cat != "kernel"
+        ],
+    }
+    out = pathlib.Path(__file__).parent / "golden_trace.json"
+    out.write_text(json.dumps(projection, indent=1) + "\n", encoding="utf-8")
+    print(f"wrote {len(projection['events'])} protocol events "
+          f"(+{projection['kernel_events']} kernel) to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -103,6 +103,19 @@ class TestBaselineComparison:
         failures = regress.compare_to_baseline(quick_report, baseline, 0.25, 0.10)
         assert failures and "mode" in failures[0]
 
+    def test_multi_mode_baseline_selects_entry(self, regress, quick_report):
+        baseline = {"schema": regress.SCHEMA,
+                    "modes": {"quick": copy.deepcopy(quick_report)}}
+        assert (
+            regress.compare_to_baseline(quick_report, baseline, 0.25, 0.10)
+            == []
+        )
+        # An entry for a different mode only does not match.
+        baseline = {"schema": regress.SCHEMA,
+                    "modes": {"smoke": copy.deepcopy(quick_report)}}
+        failures = regress.compare_to_baseline(quick_report, baseline, 0.25, 0.10)
+        assert failures and "mode" in failures[0]
+
     def test_missing_benchmark_in_baseline_is_skipped(self, regress, quick_report):
         baseline = copy.deepcopy(quick_report)
         del baseline["benchmarks"]["spf_substrate"]
@@ -132,7 +145,11 @@ class TestMain:
         )
         report = json.loads(out.read_text())
         assert report["schema"] == regress.SCHEMA
-        assert json.loads(baseline.read_text()) == report
+        saved = json.loads(baseline.read_text())
+        assert saved["modes"]["quick"] == report
+        # Observability artifacts land next to the report.
+        assert (tmp_path / "TRACE_quick.json").exists()
+        assert (tmp_path / "METRICS_quick.prom").exists()
         # Same-machine re-run against the fresh baseline passes the gate.
         assert (
             regress.main(
