@@ -11,7 +11,11 @@ Commands:
   deployment's metrics registry,
 * ``profile``   -- per-phase (SPF / flooding / arbitration / kernel
   overhead) wall-time breakdown of a representative run,
-* ``hierarchy`` -- flat vs hierarchical D-GMC LSA-scoping comparison.
+* ``hierarchy`` -- flat vs hierarchical D-GMC LSA-scoping comparison,
+* ``live``      -- run a scenario on the live asyncio/UDP backend and
+  (optionally) check byte-level equivalence against the discrete-event
+  run; ``--loss`` injects seeded datagram loss, ``--metrics`` dumps the
+  transport's counters as Prometheus text.
 """
 
 from __future__ import annotations
@@ -164,6 +168,42 @@ def _cmd_hierarchy(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    from repro.net.equiv import (
+        check_equivalence,
+        make_scenario,
+        run_discrete,
+        run_live,
+    )
+
+    scenario = make_scenario(
+        switches=args.switches, seed=args.seed, events=args.events
+    )
+    result = run_live(scenario, loss=args.loss, fault_seed=args.fault_seed)
+    print(
+        f"live run: {scenario.net.n} switches over loopback UDP, "
+        f"{len(scenario.timeline)} events, loss={args.loss:g}"
+    )
+    print(f"agreement: {result.agreed} ({result.detail})")
+    print("transport counters:")
+    for name, value in sorted(result.counters.items()):
+        print(f"  {name} {value:g}")
+    ok = result.agreed
+    if args.check_equivalence:
+        reference = run_discrete(scenario)
+        report = check_equivalence(
+            reference, result, require_identical_trees=args.loss == 0.0
+        )
+        print(f"equivalence vs discrete-event backend: {report.ok}")
+        print(report.detail)
+        ok = ok and report.ok
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(result.prom)
+        print(f"wrote metrics dump to {args.metrics}")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -213,6 +253,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--area-size", type=int, default=16)
     p.add_argument("--members", type=int, default=8)
     p.set_defaults(func=_cmd_hierarchy)
+
+    p = sub.add_parser("live", help="run switches live over loopback UDP")
+    p.add_argument("--switches", type=int, default=12)
+    p.add_argument("--events", type=int, default=8)
+    # SUPPRESS: accept --seed after the subcommand too, without the
+    # subparser default clobbering an already-parsed top-level --seed.
+    p.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    p.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="injected datagram loss probability (0..1)",
+    )
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=7,
+        help="seed of the fault injector's RNG stream",
+    )
+    p.add_argument(
+        "--check-equivalence",
+        action="store_true",
+        help="also run the discrete-event backend and compare final trees",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write the transport's metrics registry as Prometheus text",
+    )
+    p.set_defaults(func=_cmd_live)
     return parser
 
 

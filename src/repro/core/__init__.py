@@ -28,9 +28,10 @@ from repro.core.mc import ConnectionSpec, ConnectionType, Role
 from repro.core.state import McState
 from repro.core.events import JoinEvent, LeaveEvent, LinkEvent, MemberEvent, NodeEvent
 from repro.core.switch import DgmcSwitch
-from repro.core.protocol import DgmcNetwork, ProtocolConfig
+from repro.core.protocol import DgmcNetwork, ProtocolConfig, check_agreement
 
 __all__ = [
+    "check_agreement",
     "VectorTimestamp",
     "McLsa",
     "McEvent",

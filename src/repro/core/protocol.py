@@ -86,6 +86,46 @@ class InstallRecord:
     proposer: int
 
 
+def check_agreement(
+    connection_id: int, states: Dict[int, McState]
+) -> Tuple[bool, str]:
+    """Check global agreement over a set of per-switch states.
+
+    Shared by every execution backend (the discrete-event
+    :class:`DgmcNetwork` and the live :class:`repro.net.fabric.LiveFabric`).
+    Returns ``(ok, detail)``: all switches holding state for the
+    connection must agree on the member list, the C stamp, and the
+    installed topology; mismatch details name the disagreeing switch and
+    connection.  A connection with no state anywhere (fully destroyed)
+    trivially agrees.
+    """
+    if not states:
+        return True, (
+            f"connection {connection_id}: no state anywhere (connection destroyed)"
+        )
+    reference_switch = min(states)
+    ref = states[reference_switch]
+    for x, state in sorted(states.items()):
+        if state.members != ref.members:
+            return False, (
+                f"connection {connection_id}: member list mismatch at switch {x} "
+                f"(vs switch {reference_switch}): "
+                f"{sorted(state.members)} != {sorted(ref.members)}"
+            )
+        if state.current_stamp != ref.current_stamp:
+            return False, (
+                f"connection {connection_id}: C mismatch at switch {x} "
+                f"(vs switch {reference_switch}): "
+                f"{state.current_stamp} != {ref.current_stamp}"
+            )
+        if state.installed != ref.installed:
+            return False, (
+                f"connection {connection_id}: installed topology mismatch at "
+                f"switch {x} (vs switch {reference_switch})"
+            )
+    return True, f"connection {connection_id}: {len(states)} switches agree"
+
+
 class DgmcNetwork:
     """A complete simulated D-GMC deployment."""
 
@@ -365,24 +405,7 @@ class DgmcNetwork:
             for x, s in self.states_for(connection_id).items()
             if x not in self.dead_switches
         }
-        if not states:
-            return True, "no state anywhere (connection destroyed)"
-        reference_switch = min(states)
-        ref = states[reference_switch]
-        for x, state in sorted(states.items()):
-            if state.members != ref.members:
-                return False, (
-                    f"member list mismatch at switch {x}: "
-                    f"{sorted(state.members)} != {sorted(ref.members)}"
-                )
-            if state.current_stamp != ref.current_stamp:
-                return False, (
-                    f"C mismatch at switch {x}: "
-                    f"{state.current_stamp} != {ref.current_stamp}"
-                )
-            if state.installed != ref.installed:
-                return False, f"installed topology mismatch at switch {x}"
-        return True, f"{len(states)} switches agree"
+        return check_agreement(connection_id, states)
 
     def last_install_time(self, connection_id: int) -> float:
         """Latest install time across live switches (convergence numerator)."""

@@ -59,7 +59,17 @@ _ROLE_BY_CODE = {v: k for k, v in _ROLE_CODES.items()}
 
 
 class WireError(ValueError):
-    """Raised on malformed wire data."""
+    """Base class for wire-format errors."""
+
+
+class WireDecodeError(WireError):
+    """The single error raised for undecodable bytes.
+
+    Truncated, garbage, bad-magic, and structurally invalid frames all
+    raise this (never a bare ``struct.error`` / ``IndexError`` /
+    ``ValueError``), so socket-facing code needs exactly one except
+    clause per datagram.
+    """
 
 
 def _encode_tree(key: int, tree: MulticastTree) -> bytes:
@@ -133,7 +143,7 @@ class _Reader:
     def take(self, fmt: str) -> tuple:
         size = struct.calcsize(fmt)
         if self.offset + size > len(self.data):
-            raise WireError("truncated LSA")
+            raise WireDecodeError("truncated LSA")
         values = struct.unpack_from(fmt, self.data, self.offset)
         self.offset += size
         return values
@@ -155,20 +165,19 @@ def _decode_tree(reader: _Reader) -> Tuple[int, MulticastTree]:
     return key, tree
 
 
-def decode_lsa(data: bytes) -> Union[McLsa, NonMcLsa]:
-    """Parse bytes back into an LSA; raises :class:`WireError` on garbage."""
+def _decode_lsa_body(data: bytes) -> Union[McLsa, NonMcLsa]:
     reader = _Reader(data)
     magic, version, flags = reader.take("!BBB")
     if magic != MAGIC:
-        raise WireError(f"bad magic 0x{magic:02x}")
+        raise WireDecodeError(f"bad magic 0x{magic:02x}")
     if version != VERSION:
-        raise WireError(f"unsupported version {version}")
+        raise WireDecodeError(f"unsupported version {version}")
     if flags & 0x01:  # MC LSA
         source, connection_id, n = reader.take("!HIH")[0:3]
         stamp = reader.take(f"!{n}I") if n else ()
         event = _EVENT_BY_CODE.get((flags >> 1) & 0x07)
         if event is None:
-            raise WireError("bad event code")
+            raise WireDecodeError("bad event code")
         role = _ROLE_BY_CODE.get((flags >> 5) & 0x03)
         proposal: Optional[McTopology] = None
         if flags & 0x10:
@@ -176,7 +185,7 @@ def decode_lsa(data: bytes) -> Union[McLsa, NonMcLsa]:
             trees = tuple(_decode_tree(reader) for _ in range(tree_count))
             proposal = McTopology(trees)
         if not reader.done():
-            raise WireError("trailing bytes after MC LSA")
+            raise WireDecodeError("trailing bytes after MC LSA")
         return McLsa(source, event, connection_id, proposal, tuple(stamp), role)
     # non-MC LSA
     source, seqnum, link_count = reader.take("!HIH")
@@ -185,5 +194,46 @@ def decode_lsa(data: bytes) -> Union[McLsa, NonMcLsa]:
         neighbor, delay, up = reader.take("!HdB")
         links.append((neighbor, delay, bool(up)))
     if not reader.done():
-        raise WireError("trailing bytes after non-MC LSA")
+        raise WireDecodeError("trailing bytes after non-MC LSA")
     return NonMcLsa(source, RouterLsa(source, seqnum, tuple(links)))
+
+
+def decode_lsa(data: bytes) -> Union[McLsa, NonMcLsa]:
+    """Parse bytes back into an LSA.
+
+    Raises :class:`WireDecodeError` -- and only that -- on any undecodable
+    input: bytes that arrive from a real socket may be arbitrary garbage,
+    so structural validation errors from the LSA constructors are folded
+    into the same exception.
+    """
+    try:
+        return _decode_lsa_body(data)
+    except WireDecodeError:
+        raise
+    except (struct.error, ValueError, KeyError, IndexError, TypeError) as exc:
+        raise WireDecodeError(f"malformed LSA: {exc}") from exc
+
+
+def encode_topology(topology: McTopology) -> bytes:
+    """Serialize a bare :class:`McTopology` (the proposal encoding).
+
+    This is the canonical byte form used to compare installed trees
+    across execution backends (simulated vs. live): members and edges are
+    sorted, so equal topologies encode to equal bytes.
+    """
+    return _encode_proposal(topology)
+
+
+def decode_topology(data: bytes) -> McTopology:
+    """Inverse of :func:`encode_topology`; raises :class:`WireDecodeError`."""
+    try:
+        reader = _Reader(data)
+        (tree_count,) = reader.take("!H")
+        trees = tuple(_decode_tree(reader) for _ in range(tree_count))
+        if not reader.done():
+            raise WireDecodeError("trailing bytes after topology")
+        return McTopology(trees)
+    except WireDecodeError:
+        raise
+    except (struct.error, ValueError, KeyError, IndexError, TypeError) as exc:
+        raise WireDecodeError(f"malformed topology: {exc}") from exc

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from repro.lsr import spf
+from repro.net.transport import KernelTransport, Transport
 from repro.obs import tracer as obs_tracer
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.sim.kernel import Simulator
@@ -61,12 +62,15 @@ class FloodingFabric:
         net: Network,
         per_hop_delay: Optional[float] = None,
         record_history: bool = False,
+        transport: Optional[Transport] = None,
     ) -> None:
         self.sim = sim
         self.net = net
         self.per_hop_delay = per_hop_delay
         self.record_history = record_history
-        self._hooks: Dict[int, DeliverFn] = {}
+        #: Delivery backend; the default schedules handler callbacks on the
+        #: simulation kernel (the fabric's historical in-kernel path).
+        self.transport: Transport = transport or KernelTransport(sim)
         #: Total flooding operations initiated, by kind.
         self.flood_counts: Dict[str, int] = {}
         #: Total individual LSA deliveries (diagnostic).
@@ -101,9 +105,7 @@ class FloodingFabric:
 
     def register(self, switch_id: int, deliver: DeliverFn) -> None:
         """Install the delivery hook for ``switch_id`` (one per switch)."""
-        if switch_id in self._hooks:
-            raise ValueError(f"switch {switch_id} already registered")
-        self._hooks[switch_id] = deliver
+        self.transport.register(switch_id, deliver)
 
     @property
     def total_floods(self) -> int:
@@ -152,14 +154,13 @@ class FloodingFabric:
         for switch, delay in sorted(self.arrival_times(origin).items()):
             if switch == origin:
                 continue
-            hook = self._hooks.get(switch)
-            if hook is None:
+            if not self.transport.has_handler(switch):
                 continue
             record.arrivals[switch] = self.sim.now + delay
             self.delivery_count += 1
             if self._hops_hist is not None:
                 self._hops_hist.observe(round(delay / self.per_hop_delay))
-            self.sim.schedule(delay, lambda h=hook, s=switch, p=payload: h(s, p))
+            self.transport.send(origin, switch, payload, delay)
         if self._fanout_hist is not None:
             self._fanout_hist.observe(len(record.arrivals))
         if self.record_history:
@@ -167,4 +168,7 @@ class FloodingFabric:
         return record
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"FloodingFabric(floods={self.total_floods}, hooks={len(self._hooks)})"
+        return (
+            f"FloodingFabric(floods={self.total_floods}, "
+            f"hooks={self.transport.handler_count})"
+        )

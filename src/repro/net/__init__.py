@@ -1,0 +1,75 @@
+"""Live asyncio runtime: D-GMC switches over real UDP sockets.
+
+This package is the second execution backend next to the discrete-event
+simulator.  The same protocol logic (:class:`repro.core.switch.DgmcSwitch`,
+:class:`repro.lsr.router.UnicastRouter`) runs as asyncio hosts exchanging
+:mod:`repro.core.wire`-encoded LSAs over loopback UDP:
+
+* :mod:`repro.net.transport` -- the :class:`Transport` abstraction with the
+  in-kernel (:class:`KernelTransport`) and datagram (:class:`UdpTransport`)
+  implementations,
+* :mod:`repro.net.frames` -- the DATA/ACK datagram framing,
+* :mod:`repro.net.faults` -- seeded loss / reorder / delay injection,
+* :mod:`repro.net.host` -- :class:`LiveSwitch`, one protocol host,
+* :mod:`repro.net.fabric` -- :class:`LiveFabric`, boots N switches and
+  drives a workload to quiescence,
+* :mod:`repro.net.equiv` -- the simulated-vs-live equivalence harness.
+
+``LiveSwitch`` / ``LiveFabric`` / the equivalence helpers are exported
+lazily: they import the protocol stack, which itself imports
+:class:`KernelTransport` from here, and the lazy hop breaks that cycle.
+"""
+
+from __future__ import annotations
+
+from repro.net.faults import FaultInjector, FaultPlan
+from repro.net.transport import (
+    DeliverFn,
+    KernelTransport,
+    RetransmitPolicy,
+    Transport,
+    UdpTransport,
+)
+
+_LAZY = {
+    # The framing codec reaches repro.core.lsa, which is itself on the
+    # import path into this package (core -> trees -> lsr.flooding ->
+    # transport); frames must therefore resolve lazily too.
+    "AckFrame": "repro.net.frames",
+    "DataFrame": "repro.net.frames",
+    "FrameDecodeError": "repro.net.frames",
+    "decode_frame": "repro.net.frames",
+    "encode_ack": "repro.net.frames",
+    "encode_data": "repro.net.frames",
+    "LiveSwitch": "repro.net.host",
+    "LiveFloodOut": "repro.net.host",
+    "LiveFabric": "repro.net.fabric",
+    "LiveConfig": "repro.net.fabric",
+    "LiveScenario": "repro.net.equiv",
+    "BackendResult": "repro.net.equiv",
+    "EquivalenceReport": "repro.net.equiv",
+    "make_scenario": "repro.net.equiv",
+    "run_discrete": "repro.net.equiv",
+    "run_live": "repro.net.equiv",
+    "check_equivalence": "repro.net.equiv",
+}
+
+__all__ = [
+    "DeliverFn",
+    "FaultInjector",
+    "FaultPlan",
+    "KernelTransport",
+    "RetransmitPolicy",
+    "Transport",
+    "UdpTransport",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.net' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,279 @@
+"""The live orchestrator: boot N switches on loopback and drive a workload.
+
+:class:`LiveFabric` is the live counterpart of
+:class:`~repro.core.protocol.DgmcNetwork`: it boots one
+:class:`~repro.net.host.LiveSwitch` per switch of a ``topo`` graph over a
+shared :class:`~repro.net.transport.UdpTransport`, injects join / leave /
+link events from the same ``workloads`` event vocabulary, and exposes the
+same inspection surface (``states_for`` / ``agreement``) over the final
+:class:`~repro.core.state.McState`\\ s.
+
+Two pacing modes:
+
+* ``barrier`` (default) -- events are applied in schedule order with a
+  quiescence barrier between consecutive events; with zero injected loss
+  this reproduces the discrete-event run of a well-separated schedule
+  byte-for-byte (the equivalence harness relies on it).
+* ``timed`` -- events fire at ``time * time_scale`` wall seconds after
+  the run starts; with a small ``time_scale`` concurrent events genuinely
+  race on the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.events import JoinEvent, LeaveEvent, LinkEvent, NodeEvent
+from repro.core.mc import ConnectionSpec, ConnectionType
+from repro.core.protocol import InstallRecord, ProtocolConfig, check_agreement
+from repro.core.state import McState
+from repro.net.faults import FaultPlan
+from repro.net.host import LiveSwitch
+from repro.net.transport import RetransmitPolicy, UdpTransport
+from repro.obs.metrics import MetricsRegistry
+from repro.topo.graph import Network
+
+
+@dataclass
+class LiveConfig:
+    """Knobs of the live runtime (transport, pacing, quiescence)."""
+
+    #: Injected datagram faults (loss / reorder / delay), seeded.
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    #: Ack/retransmit policy of the UDP transport.
+    policy: RetransmitPolicy = field(default_factory=RetransmitPolicy)
+    host: str = "127.0.0.1"
+    #: Wall seconds per simulated time unit inside each host's pump
+    #: (0 = run local compute instantly) and for ``timed`` pacing.
+    time_scale: float = 0.0
+    #: ``barrier`` or ``timed`` (see module docstring).
+    pacing: str = "barrier"
+    #: Hard cap on any single quiescence wait, wall seconds.
+    quiesce_timeout: float = 30.0
+    #: Poll interval of the quiescence barrier, wall seconds.
+    poll_interval: float = 0.005
+    #: Consecutive idle polls required before declaring quiescence.
+    settle_polls: int = 2
+
+    def __post_init__(self) -> None:
+        if self.pacing not in ("barrier", "timed"):
+            raise ValueError(f"unknown pacing {self.pacing!r}")
+
+
+class QuiescenceTimeout(RuntimeError):
+    """The fabric did not settle within ``quiesce_timeout``."""
+
+
+class LiveFabric:
+    """A complete live D-GMC deployment on loopback UDP."""
+
+    def __init__(
+        self,
+        net: Network,
+        config: Optional[ProtocolConfig] = None,
+        live: Optional[LiveConfig] = None,
+    ) -> None:
+        self.net = net
+        self.config = config or ProtocolConfig()
+        self.live = live or LiveConfig()
+        #: Obs registry shared with the transport (live_* counters).
+        self.metrics = MetricsRegistry()
+        self.transport = UdpTransport(
+            net.switches(),
+            faults=self.live.faults,
+            policy=self.live.policy,
+            host=self.live.host,
+            metrics=self.metrics,
+        )
+        self.hosts: Dict[int, LiveSwitch] = {}
+        #: Connection provisioning database, shared by every host (static
+        #: config, like the paper's pre-registered MC identifiers).
+        self.connection_registry: Dict[int, ConnectionSpec] = {}
+        self._pending_events: List[Tuple[float, int, Any]] = []
+        self._event_seq = 0
+        self._started = False
+        self._shut_down = False
+        self.events_injected = 0
+        self.install_log: List[InstallRecord] = []
+
+    # -- connection registry ---------------------------------------------------
+
+    def register_connection(self, spec: ConnectionSpec) -> ConnectionSpec:
+        if spec.connection_id in self.connection_registry:
+            raise ValueError(f"connection {spec.connection_id} already registered")
+        self.connection_registry[spec.connection_id] = spec
+        return spec
+
+    def register_symmetric(self, connection_id: int, **kw) -> ConnectionSpec:
+        return self.register_connection(
+            ConnectionSpec(connection_id, ConnectionType.SYMMETRIC, **kw)
+        )
+
+    def register_receiver_only(self, connection_id: int, **kw) -> ConnectionSpec:
+        return self.register_connection(
+            ConnectionSpec(connection_id, ConnectionType.RECEIVER_ONLY, **kw)
+        )
+
+    def register_asymmetric(self, connection_id: int) -> ConnectionSpec:
+        return self.register_connection(
+            ConnectionSpec(connection_id, ConnectionType.ASYMMETRIC)
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind sockets, boot every host, seed converged unicast databases."""
+        if self._started:
+            raise RuntimeError("fabric already started")
+        await self.transport.start()
+        for x in self.net.switches():
+            host = LiveSwitch(
+                x,
+                self.net.copy(),
+                self.config,
+                self.transport,
+                connection_registry=self.connection_registry,
+                time_scale=self.live.time_scale,
+                on_install=self._record_install,
+            )
+            self.transport.register(x, host.ingest)
+            self.hosts[x] = host
+        for host in self.hosts.values():
+            host.seed_converged_lsdb()
+        for host in self.hosts.values():
+            await host.start()
+        self._started = True
+
+    async def shutdown(self) -> None:
+        """Graceful teardown: stop every pump, then close every socket."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        for host in self.hosts.values():
+            await host.stop()
+        await self.transport.stop()
+
+    def _record_install(
+        self, switch: int, connection_id: int, stamp: tuple, proposer: int
+    ) -> None:
+        # ``time`` is the installing host's *local* sim clock: there is no
+        # global clock in the live runtime, only per-host schedulers.
+        self.install_log.append(
+            InstallRecord(
+                self.hosts[switch].sim.now, switch, connection_id,
+                tuple(stamp), proposer,
+            )
+        )
+
+    # -- event injection ------------------------------------------------------------
+
+    def inject(self, event: Any, at: float) -> None:
+        """Queue an event for the run (ordered by ``at``, then injection order)."""
+        if isinstance(event, NodeEvent):
+            raise NotImplementedError(
+                "nodal events are not supported by the live runtime yet "
+                "(a dead host needs process-level isolation); "
+                "see docs/live-runtime.md"
+            )
+        if not isinstance(event, (JoinEvent, LeaveEvent, LinkEvent)):
+            raise TypeError(f"unknown event {event!r}")
+        self._pending_events.append((at, self._event_seq, event))
+        self._event_seq += 1
+
+    def _fire(self, event: Any) -> None:
+        self.events_injected += 1
+        if isinstance(event, (JoinEvent, LeaveEvent)):
+            self.hosts[event.switch].fire_membership(event)
+        elif isinstance(event, LinkEvent):
+            other = event.u if event.detector == event.v else event.v
+            # Both endpoints observe the physical change; only the
+            # designated detector announces it (Figure 2).
+            self.hosts[other].apply_link_state(event.u, event.v, event.up)
+            self.hosts[event.detector].fire_link(event.u, event.v, event.up)
+        else:  # pragma: no cover - inject() already filtered
+            raise TypeError(f"unknown event {event!r}")
+
+    # -- running ------------------------------------------------------------------------
+
+    async def run(self) -> "LiveFabric":
+        """Apply every injected event and settle to global quiescence."""
+        if not self._started:
+            await self.start()
+        events = sorted(self._pending_events)
+        self._pending_events = []
+        if self.live.pacing == "barrier":
+            for _, _, event in events:
+                self._fire(event)
+                await self.quiesce()
+        else:  # timed
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            for at, _, event in events:
+                delay = t0 + at * self.live.time_scale - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                self._fire(event)
+        await self.quiesce()
+        return self
+
+    @property
+    def idle(self) -> bool:
+        """Nothing in flight on the wire and every host drained."""
+        return self.transport.idle and all(h.idle for h in self.hosts.values())
+
+    async def quiesce(self, timeout: Optional[float] = None) -> None:
+        """The quiescence barrier: block until the fabric is stably idle.
+
+        ``idle`` must hold for ``settle_polls`` consecutive polls (an ack
+        can be in the socket buffer while both ends look idle for one
+        instant).  Raises :class:`QuiescenceTimeout` after ``timeout``
+        wall seconds -- a hard guard so a lost-forever frame or a wedged
+        host cannot hang a caller (or a CI job) silently.
+        """
+        budget = self.live.quiesce_timeout if timeout is None else timeout
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + budget
+        consecutive = 0
+        while True:
+            await asyncio.sleep(self.live.poll_interval)
+            if self.idle:
+                consecutive += 1
+                if consecutive >= self.live.settle_polls:
+                    return
+            else:
+                consecutive = 0
+            if loop.time() > deadline:
+                raise QuiescenceTimeout(
+                    f"no quiescence within {budget}s: "
+                    f"{self.transport.in_flight} frames unacked, busy hosts "
+                    f"{[x for x, h in self.hosts.items() if not h.idle]}"
+                )
+
+    # -- inspection ----------------------------------------------------------------------
+
+    def states_for(self, connection_id: int) -> Dict[int, McState]:
+        """The per-switch states currently held for a connection."""
+        return {
+            x: host.states[connection_id]
+            for x, host in self.hosts.items()
+            if connection_id in host.states
+        }
+
+    def agreement(self, connection_id: int) -> Tuple[bool, str]:
+        """Global agreement after quiescence (same rule as the simulator)."""
+        return check_agreement(connection_id, self.states_for(connection_id))
+
+    def mc_floodings(self) -> int:
+        return sum(h.flood_out.count_for("mc") for h in self.hosts.values())
+
+    def counters(self) -> Dict[str, float]:
+        """The transport's live_* obs counters (name -> value)."""
+        return self.transport.counters()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LiveFabric(n={self.net.n}, started={self._started}, "
+            f"connections={sorted(self.connection_registry)})"
+        )

@@ -1,0 +1,76 @@
+"""Seeded loss / reorder / delay injection for the UDP transport.
+
+The paper's evaluation (and the systematic-testing literature it leans
+on) exercises the protocol under scheduled events only; the live runtime
+adds the failure modes a real datagram fabric exhibits.  Faults are
+decided *per transmission attempt* at the sender's socket boundary, so a
+retransmission of a lost frame rolls the dice again -- exactly what a
+lossy physical link does.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Configuration of the injected datagram faults.
+
+    * ``loss`` -- probability a transmission attempt is silently dropped,
+    * ``reorder`` -- probability a frame is held back by ``reorder_delay``
+      seconds so later frames overtake it,
+    * ``delay`` / ``jitter`` -- fixed extra latency plus a uniform random
+      component, applied to every frame that is not dropped,
+    * ``seed`` -- RNG seed; the same plan and traffic produce the same
+      fault sequence.
+    """
+
+    loss: float = 0.0
+    reorder: float = 0.0
+    reorder_delay: float = 0.05
+    delay: float = 0.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        for name in ("reorder_delay", "delay", "jitter"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.loss or self.reorder or self.delay or self.jitter)
+
+
+class FaultInjector:
+    """Stateful decider: one seeded RNG over a :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        #: Transmission attempts dropped by the loss dial.
+        self.dropped = 0
+        #: Transmission attempts held back by the reorder dial.
+        self.reordered = 0
+
+    def should_drop(self) -> bool:
+        if self.plan.loss and self._rng.random() < self.plan.loss:
+            self.dropped += 1
+            return True
+        return False
+
+    def send_delay(self) -> float:
+        """Extra latency for a frame that survived the loss dial (0 = none)."""
+        delay = self.plan.delay
+        if self.plan.jitter:
+            delay += self._rng.uniform(0.0, self.plan.jitter)
+        if self.plan.reorder and self._rng.random() < self.plan.reorder:
+            self.reordered += 1
+            delay += self.plan.reorder_delay
+        return delay

@@ -1,0 +1,113 @@
+"""Datagram frame format of the live runtime.
+
+A UDP datagram carries exactly one frame.  Two frame types exist:
+
+DATA (type 1) -- one :mod:`repro.core.wire`-encoded LSA::
+
+    magic    u8   = 0xD7   (distinct from the LSA magic 0xD6)
+    version  u8   = 1
+    type     u8   = 1
+    src      u16  originating switch id
+    dest     u16  destination switch id
+    seq      u32  per-(src, dest) sequence number
+    payload  ...  encode_lsa() bytes
+
+ACK (type 2) -- acknowledges one DATA frame::
+
+    magic, version, type = 2
+    src      u16  the *acknowledging* switch (the DATA frame's dest)
+    dest     u16  the DATA frame's src
+    seq      u32  the acknowledged sequence number
+
+All integers are big-endian.  Decoding raises
+:class:`FrameDecodeError` (a :class:`~repro.core.wire.WireDecodeError`)
+on anything undecodable, so socket readers need a single except clause.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.lsa import McLsa
+from repro.core.wire import WireDecodeError, decode_lsa, encode_lsa
+from repro.lsr.lsa import NonMcLsa
+
+FRAME_MAGIC = 0xD7
+FRAME_VERSION = 1
+DATA = 1
+ACK = 2
+
+_HEADER = struct.Struct("!BBBHHI")
+
+
+class FrameDecodeError(WireDecodeError):
+    """Raised on malformed datagram frames (subclass of WireDecodeError)."""
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """A decoded DATA frame: one LSA in flight from ``src`` to ``dest``."""
+
+    src: int
+    dest: int
+    seq: int
+    lsa: Union[McLsa, NonMcLsa]
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """A decoded ACK frame: ``src`` acknowledges ``(dest, seq)``."""
+
+    src: int
+    dest: int
+    seq: int
+
+
+Frame = Union[DataFrame, AckFrame]
+
+
+def encode_data(src: int, dest: int, seq: int, lsa: Union[McLsa, NonMcLsa]) -> bytes:
+    """Build the wire bytes of one DATA frame."""
+    return _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, DATA, src, dest, seq) + encode_lsa(
+        lsa
+    )
+
+
+def encode_ack(src: int, dest: int, seq: int) -> bytes:
+    """Build the wire bytes of one ACK frame."""
+    return _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, ACK, src, dest, seq)
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Parse one datagram into a frame; raises :class:`FrameDecodeError`."""
+    if len(data) < _HEADER.size:
+        raise FrameDecodeError("truncated frame header")
+    magic, version, ftype, src, dest, seq = _HEADER.unpack_from(data)
+    if magic != FRAME_MAGIC:
+        raise FrameDecodeError(f"bad frame magic 0x{magic:02x}")
+    if version != FRAME_VERSION:
+        raise FrameDecodeError(f"unsupported frame version {version}")
+    body = data[_HEADER.size :]
+    if ftype == ACK:
+        if body:
+            raise FrameDecodeError("trailing bytes after ACK")
+        return AckFrame(src, dest, seq)
+    if ftype == DATA:
+        try:
+            lsa = decode_lsa(body)
+        except FrameDecodeError:
+            raise
+        except WireDecodeError as exc:
+            raise FrameDecodeError(f"bad DATA payload: {exc}") from exc
+        return DataFrame(src, dest, seq, lsa)
+    raise FrameDecodeError(f"unknown frame type {ftype}")
+
+
+def try_decode_frame(data: bytes) -> Optional[Frame]:
+    """Decode, returning ``None`` instead of raising (hot receive path)."""
+    try:
+        return decode_frame(data)
+    except FrameDecodeError:
+        return None

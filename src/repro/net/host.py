@@ -1,0 +1,271 @@
+"""One live protocol host: a D-GMC switch driven by incoming datagrams.
+
+A :class:`LiveSwitch` wraps the *unmodified* protocol entities -- a
+:class:`~repro.core.switch.DgmcSwitch` and a
+:class:`~repro.lsr.router.UnicastRouter` -- in an asyncio pump.  The
+protocol bodies are generator processes written against the simulation
+kernel; here each host owns a private :class:`~repro.sim.kernel.Simulator`
+that serves purely as the host's *local* scheduler: incoming datagrams and
+local events enqueue work, and the pump task drains the local kernel,
+optionally stretching simulated compute time (Tc) into wall time via
+``time_scale`` so LSAs can genuinely race into computation windows.
+
+Outbound flooding goes through :class:`LiveFloodOut`, which
+origin-broadcasts each LSA to every peer over the shared
+:class:`~repro.net.transport.Transport` (reliable datagrams stand in for
+hop-by-hop flooding; see docs/live-runtime.md for the fidelity notes).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.core.events import JoinEvent, LeaveEvent
+from repro.core.lsa import McEvent, McLsa
+from repro.core.mc import ConnectionSpec
+from repro.core.state import McState
+from repro.core.switch import DgmcSwitch
+from repro.lsr.lsa import NonMcLsa, RouterLsa
+from repro.lsr.router import UnicastRouter
+from repro.net.transport import Transport
+from repro.sim.kernel import Simulator
+from repro.topo.graph import Network
+
+
+class LiveFloodOut:
+    """Host-side flooding client: origin-broadcast over the transport.
+
+    Keeps the same counters as the simulated fabric
+    (``flood_counts`` / ``delivery_count``) so diagnostics carry over.
+    """
+
+    def __init__(self, transport: Transport, switch_id: int, peers: Iterable[int]) -> None:
+        self.transport = transport
+        self.switch_id = switch_id
+        self.peers = sorted(peers)
+        self.flood_counts: Dict[str, int] = {}
+        self.delivery_count = 0
+
+    def flood(self, origin: int, payload: Any, kind: str = "lsa") -> None:
+        self.flood_counts[kind] = self.flood_counts.get(kind, 0) + 1
+        for dest in self.peers:
+            if dest == origin:
+                continue
+            self.transport.send(origin, dest, payload)
+            self.delivery_count += 1
+
+    @property
+    def total_floods(self) -> int:
+        return sum(self.flood_counts.values())
+
+    def count_for(self, kind: str) -> int:
+        return self.flood_counts.get(kind, 0)
+
+
+class LiveSwitch:
+    """One switch as a live asyncio host."""
+
+    def __init__(
+        self,
+        switch_id: int,
+        net: Network,
+        config,
+        transport: Transport,
+        connection_registry: Optional[Dict[int, ConnectionSpec]] = None,
+        time_scale: float = 0.0,
+        on_computation: Optional[Callable[[int, int], None]] = None,
+        on_install: Optional[Callable[[int, int, tuple, int], None]] = None,
+    ) -> None:
+        self.switch_id = switch_id
+        #: Host-local copy of the physical network (its own address space);
+        #: it only informs this host's router LSAs and link-event handling.
+        self.net = net
+        self.sim = Simulator()
+        self.time_scale = time_scale
+        self.flood_out = LiveFloodOut(transport, switch_id, net.switches())
+        self.router = UnicastRouter(switch_id, net, self.flood_out)
+        self.connection_registry: Dict[int, ConnectionSpec] = (
+            connection_registry if connection_registry is not None else {}
+        )
+        self.switch = DgmcSwitch(
+            self.sim,
+            switch_id,
+            net.n,
+            self.router,
+            self.flood_out,
+            config,
+            self.connection_registry,
+            on_computation=on_computation,
+            on_install=on_install,
+        )
+        self.config = config
+        self._wake = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+        self._pumping = False
+        self._stopped = False
+        #: Payloads accepted from the transport (diagnostic).
+        self.ingested = 0
+
+    # -- boot ---------------------------------------------------------------
+
+    def seed_converged_lsdb(self) -> None:
+        """Populate the LSDB as if the initial unicast flood completed.
+
+        The paper's setting: membership events arrive on a stable,
+        converged network.  Every host derives its peers' initial router
+        LSAs from its own (identical) boot-time topology copy, so no boot
+        flood storm crosses the wire.
+        """
+        self.router.originate(flood=False)
+        for y in self.net.switches():
+            if y == self.switch_id:
+                continue
+            links = tuple(
+                (link.other(y), link.delay, link.up)
+                for link in sorted(
+                    (
+                        self.net.link(y, nbr)
+                        for nbr in self.net.neighbors(y, include_down=True)
+                    ),
+                    key=lambda lk: lk.key,
+                )
+            )
+            self.router.lsdb.install(RouterLsa(y, 1, links))
+
+    # -- transport-facing ingestion -------------------------------------------
+
+    def ingest(self, dest: int, payload: Any) -> None:
+        """Transport delivery handler (:data:`~repro.net.transport.DeliverFn`)."""
+        if dest != self.switch_id:  # pragma: no cover - transport bug guard
+            raise ValueError(f"host {self.switch_id} got a frame for {dest}")
+        if isinstance(payload, McLsa):
+            self.switch.deliver_mc_lsa(payload)
+        elif isinstance(payload, NonMcLsa):
+            self.router.receive(payload)
+        else:  # pragma: no cover - transport bug guard
+            raise TypeError(f"unexpected payload {payload!r}")
+        self.ingested += 1
+        self._wake.set()
+
+    # -- local event injection ---------------------------------------------------
+
+    def fire_membership(self, event) -> None:
+        """Run EventHandler() for a local join/leave."""
+        if isinstance(event, JoinEvent):
+            gen = self.switch.event_handler(
+                McEvent.JOIN, event.connection_id, role=event.role
+            )
+        elif isinstance(event, LeaveEvent):
+            gen = self.switch.event_handler(McEvent.LEAVE, event.connection_id)
+        else:
+            raise TypeError(f"not a membership event: {event!r}")
+        kind = "join" if isinstance(event, JoinEvent) else "leave"
+        self.sim.spawn(
+            gen,
+            name=f"EventHandler({kind}, sw={self.switch_id}, m={event.connection_id})",
+        )
+        self._wake.set()
+
+    def apply_link_state(self, u: int, v: int, up: bool) -> None:
+        """Record a link change this host observes but does not announce."""
+        self.net.set_link_state(u, v, up)
+
+    def fire_link(self, u: int, v: int, up: bool) -> List[int]:
+        """This host detects an incident link change (Figure 2's detector).
+
+        Floods exactly one non-MC LSA, then one MC link event per affected
+        connection; returns the affected connection ids.
+        """
+        self.net.set_link_state(u, v, up)
+        self.router.notify_incident_link_event()
+        affected = self._affected_connections(u, v, up)
+        for connection_id in affected:
+            self.sim.spawn(
+                self.switch.event_handler(McEvent.LINK, connection_id),
+                name=f"EventHandler(link, sw={self.switch_id}, m={connection_id})",
+            )
+        self._wake.set()
+        return affected
+
+    def _affected_connections(self, u: int, v: int, up: bool) -> List[int]:
+        """Mirror of the simulator's affected-connection rule."""
+        if up:
+            if getattr(self.config, "reoptimize_on_link_up", False):
+                return sorted(self.switch.states)
+            return []
+        edge = tuple(sorted((u, v)))
+        return sorted(
+            connection_id
+            for connection_id, state in self.switch.states.items()
+            if state.installed is not None and edge in state.installed.all_edges()
+        )
+
+    # -- the pump -------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("host already started")
+        self._task = asyncio.create_task(
+            self._pump_loop(), name=f"live-switch-{self.switch_id}"
+        )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop pumping and wait for the task to exit."""
+        self._stopped = True
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    async def _pump_loop(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if self._stopped:
+                return
+            self._pumping = True
+            try:
+                while True:
+                    nxt = self.sim.peek()
+                    if nxt is None:
+                        break
+                    dt = nxt - self.sim.now
+                    if dt > 0 and self.time_scale > 0:
+                        await asyncio.sleep(dt * self.time_scale)
+                    else:
+                        # Yield so datagrams can interleave between steps.
+                        await asyncio.sleep(0)
+                    if self._stopped:
+                        return
+                    self.sim.step()
+            finally:
+                self._pumping = False
+
+    @property
+    def idle(self) -> bool:
+        """Quiescent: nothing queued locally and the pump has drained.
+
+        Part of the fabric-wide quiescence barrier; all four conditions
+        are needed (a woken-but-not-yet-pumped host has ``_wake`` set, a
+        blocked ReceiveLSA daemon keeps both the heap and mailboxes
+        empty).
+        """
+        return (
+            not self._pumping
+            and not self._wake.is_set()
+            and self.sim.peek() is None
+            and all(box.empty for box in self.switch._mailboxes.values())
+        )
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def states(self) -> Dict[int, McState]:
+        return self.switch.states
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LiveSwitch(id={self.switch_id}, "
+            f"connections={sorted(self.switch.states)})"
+        )

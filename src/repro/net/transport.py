@@ -1,0 +1,432 @@
+"""Transport abstraction: how an LSA physically travels between switches.
+
+Protocol code (the D-GMC switch, the unicast router, the flooding layer)
+hands a payload to a :class:`Transport` and a registered handler receives
+it at the destination.  Two implementations exist:
+
+* :class:`KernelTransport` -- the discrete-event backend.  Delivery is a
+  callback scheduled on the simulation kernel at ``now + delay``; this is
+  the delivery path the :class:`~repro.lsr.flooding.FloodingFabric` always
+  had, refactored behind the abstraction.
+* :class:`UdpTransport` -- the live backend.  Each switch owns one UDP
+  socket on loopback; payloads travel as :mod:`repro.net.frames` DATA
+  datagrams carrying :mod:`repro.core.wire` bytes, with per-frame
+  ack/retransmit, exponential backoff, receive-side deduplication, and
+  seeded loss/reorder/delay injection (:mod:`repro.net.faults`).
+
+Handlers have the :data:`DeliverFn` signature ``(dest_switch, payload)``,
+matching the flooding fabric's existing hooks, so the same protocol
+delivery code runs unchanged on either backend.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.net.faults import FaultInjector, FaultPlan
+from repro.obs import tracer as obs_tracer
+from repro.obs.metrics import MetricsRegistry
+
+#: Delivery hook signature: (destination switch id, decoded payload).
+DeliverFn = Callable[[int, Any], None]
+
+
+def _frames():
+    """Deferred import of the framing codec.
+
+    :mod:`repro.net.frames` reaches :mod:`repro.core.lsa`, which sits on
+    the import path that leads back here (core -> trees -> lsr.flooding
+    -> this module).  Only :class:`UdpTransport` needs the codec, and
+    only at runtime -- by which point every module is fully initialised.
+    """
+    from repro.net import frames
+
+    return frames
+
+
+class Transport(abc.ABC):
+    """One-way datagram service between switches."""
+
+    @abc.abstractmethod
+    def register(self, switch_id: int, handler: DeliverFn) -> None:
+        """Install the delivery handler for ``switch_id`` (one per switch)."""
+
+    @abc.abstractmethod
+    def send(self, src: int, dest: int, payload: Any, delay: float = 0.0) -> None:
+        """Carry ``payload`` from ``src`` to ``dest``.
+
+        ``delay`` is the modelled propagation latency; the kernel backend
+        honours it exactly, the UDP backend substitutes physical latency
+        (plus any injected faults).
+        """
+
+    @abc.abstractmethod
+    def has_handler(self, switch_id: int) -> bool:
+        """Whether a handler is registered for ``switch_id``."""
+
+    @property
+    @abc.abstractmethod
+    def idle(self) -> bool:
+        """No frames in flight *inside the transport* (see subclasses)."""
+
+    @property
+    @abc.abstractmethod
+    def handler_count(self) -> int:
+        """Number of registered delivery handlers."""
+
+
+class KernelTransport(Transport):
+    """Delivery via the discrete-event kernel (the simulator's backend).
+
+    A send schedules the destination handler at ``now + delay`` on the
+    kernel's event heap.  The transport itself holds nothing, so it is
+    always :attr:`idle`: in-flight deliveries live on the heap and are
+    covered by the simulator's own quiescence check.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self._handlers: Dict[int, DeliverFn] = {}
+        #: Total deliveries scheduled (diagnostic).
+        self.deliveries = 0
+
+    def register(self, switch_id: int, handler: DeliverFn) -> None:
+        if switch_id in self._handlers:
+            raise ValueError(f"switch {switch_id} already registered")
+        self._handlers[switch_id] = handler
+
+    def has_handler(self, switch_id: int) -> bool:
+        return switch_id in self._handlers
+
+    def send(self, src: int, dest: int, payload: Any, delay: float = 0.0) -> None:
+        handler = self._handlers.get(dest)
+        if handler is None:
+            return
+        self.deliveries += 1
+        self.sim.schedule(delay, lambda h=handler, d=dest, p=payload: h(d, p))
+
+    @property
+    def idle(self) -> bool:
+        return True
+
+    @property
+    def handler_count(self) -> int:
+        return len(self._handlers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KernelTransport(handlers={len(self._handlers)})"
+
+
+@dataclass
+class _Pending:
+    """One unacknowledged DATA frame awaiting ack or retransmission."""
+
+    frame: bytes
+    attempts: int = 0
+    timer: Optional[asyncio.TimerHandle] = None
+    delayed_sends: int = 0
+
+
+@dataclass
+class RetransmitPolicy:
+    """Ack/retransmit knobs of the UDP transport.
+
+    ``rto`` is the initial retransmission timeout; each unacknowledged
+    attempt doubles it up to ``rto_max``.  After ``max_attempts``
+    transmissions the frame is abandoned and counted as a delivery
+    failure (the protocol above must then live with the gap, exactly as
+    with a partitioned link).
+    """
+
+    rto: float = 0.02
+    rto_max: float = 0.5
+    max_attempts: int = 25
+
+    def timeout(self, attempts: int) -> float:
+        return min(self.rto * (2 ** max(attempts - 1, 0)), self.rto_max)
+
+
+class _Endpoint(asyncio.DatagramProtocol):
+    """asyncio protocol glue: one instance per switch socket."""
+
+    def __init__(self, owner: "UdpTransport", switch_id: int) -> None:
+        self.owner = owner
+        self.switch_id = switch_id
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.owner._on_datagram(self.switch_id, data, addr)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        self.owner._socket_errors += 1
+
+
+class UdpTransport(Transport):
+    """Real datagrams: one UDP socket per switch on loopback.
+
+    Reliability is per-frame stop-and-wait with cumulative-free acks:
+    every DATA frame is retransmitted on an exponential-backoff timer
+    until its ACK arrives (or the attempt budget runs out), and receivers
+    acknowledge every copy but deliver only the first -- duplicates and
+    reordering from the fault injector (or the OS) never reach the
+    protocol twice.
+
+    Known limits (see docs/live-runtime.md): the dedupe window grows with
+    the per-peer frame count, and frames are independent (no pipelining
+    window), which is fine at control-plane LSA rates.
+    """
+
+    def __init__(
+        self,
+        switch_ids: Iterable[int],
+        faults: Optional[FaultPlan] = None,
+        policy: Optional[RetransmitPolicy] = None,
+        host: str = "127.0.0.1",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.switch_ids: List[int] = sorted(switch_ids)
+        self.policy = policy or RetransmitPolicy()
+        self.host = host
+        self.injector = FaultInjector(faults or FaultPlan())
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._handlers: Dict[int, DeliverFn] = {}
+        self._endpoints: Dict[int, asyncio.DatagramTransport] = {}
+        self._addrs: Dict[int, Tuple[str, int]] = {}
+        self._seq: Dict[Tuple[int, int], int] = {}
+        self._pending: Dict[Tuple[int, int, int], _Pending] = {}
+        #: dest -> (src, seq) pairs already delivered to the handler.
+        self._seen: Dict[int, Set[Tuple[int, int]]] = {}
+        self._delayed_frames = 0
+        self._started = False
+        self._closed = False
+        self._socket_errors = 0
+        reg = self.metrics
+        self._c_data_sent = reg.counter(
+            "live_datagrams_sent_total", "DATA transmission attempts put on the wire"
+        )
+        self._c_data_recv = reg.counter(
+            "live_datagrams_received_total", "DATA frames received from the socket"
+        )
+        self._c_acks_sent = reg.counter(
+            "live_acks_sent_total", "ACK frames put on the wire"
+        )
+        self._c_acks_recv = reg.counter(
+            "live_acks_received_total", "ACK frames received from the socket"
+        )
+        self._c_retransmits = reg.counter(
+            "live_retransmits_total", "DATA frames retransmitted after an RTO"
+        )
+        self._c_drops = reg.counter(
+            "live_drops_injected_total", "transmission attempts dropped by fault injection"
+        )
+        self._c_reorders = reg.counter(
+            "live_reorders_injected_total", "frames held back by reorder injection"
+        )
+        self._c_dupes = reg.counter(
+            "live_duplicates_dropped_total", "duplicate DATA frames suppressed at receive"
+        )
+        self._c_decode_errors = reg.counter(
+            "live_decode_errors_total", "undecodable datagrams discarded"
+        )
+        self._c_failures = reg.counter(
+            "live_delivery_failures_total", "frames abandoned after the attempt budget"
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind one UDP socket per switch (ephemeral loopback ports)."""
+        if self._started:
+            raise RuntimeError("transport already started")
+        loop = asyncio.get_running_loop()
+        for x in self.switch_ids:
+            transport, _ = await loop.create_datagram_endpoint(
+                lambda x=x: _Endpoint(self, x), local_addr=(self.host, 0)
+            )
+            self._endpoints[x] = transport
+            sockname = transport.get_extra_info("sockname")
+            self._addrs[x] = (sockname[0], sockname[1])
+        self._started = True
+
+    async def stop(self) -> None:
+        """Cancel every retransmit timer and close all sockets."""
+        self._closed = True
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending.clear()
+        for transport in self._endpoints.values():
+            transport.close()
+        # Give the loop one tick to run the close callbacks.
+        await asyncio.sleep(0)
+
+    def port_of(self, switch_id: int) -> int:
+        """The UDP port bound for ``switch_id`` (after :meth:`start`)."""
+        return self._addrs[switch_id][1]
+
+    # -- Transport interface ---------------------------------------------------
+
+    def register(self, switch_id: int, handler: DeliverFn) -> None:
+        if switch_id in self._handlers:
+            raise ValueError(f"switch {switch_id} already registered")
+        self._handlers[switch_id] = handler
+
+    def has_handler(self, switch_id: int) -> bool:
+        return switch_id in self._handlers
+
+    @property
+    def handler_count(self) -> int:
+        return len(self._handlers)
+
+    @property
+    def idle(self) -> bool:
+        """No unacknowledged frames and no injected-delay frames queued."""
+        return not self._pending and self._delayed_frames == 0
+
+    @property
+    def in_flight(self) -> int:
+        """Unacknowledged DATA frames currently tracked."""
+        return len(self._pending)
+
+    def send(self, src: int, dest: int, payload: Any, delay: float = 0.0) -> None:
+        """Queue one reliable datagram from ``src`` to ``dest``.
+
+        Must be called from within the running event loop (protocol code
+        executes inside host pump tasks, so this holds by construction).
+        """
+        if not self._started:
+            raise RuntimeError("transport not started")
+        if self._closed or dest not in self._addrs:
+            return
+        key = (src, dest)
+        seq = self._seq.get(key, 0) + 1
+        self._seq[key] = seq
+        frame = _frames().encode_data(src, dest, seq, payload)
+        self._pending[(src, dest, seq)] = _Pending(frame=frame)
+        self._transmit((src, dest, seq))
+
+    # -- send path ---------------------------------------------------------------
+
+    def _transmit(self, key: Tuple[int, int, int]) -> None:
+        """One transmission attempt (first send and every retransmit)."""
+        pending = self._pending.get(key)
+        if pending is None or self._closed:
+            return
+        src, dest, seq = key
+        if pending.attempts >= self.policy.max_attempts:
+            if pending.timer is not None:
+                pending.timer.cancel()
+            del self._pending[key]
+            self._c_failures.inc()
+            return
+        pending.attempts += 1
+        tracer = obs_tracer.TRACER
+        if pending.attempts > 1:
+            self._c_retransmits.inc()
+            if tracer.enabled:
+                tracer.instant(
+                    "udp_retransmit", cat="net", tid=src,
+                    dest=dest, seq=seq, attempt=pending.attempts,
+                )
+        rto = self.policy.timeout(pending.attempts)
+        pending.timer = asyncio.get_running_loop().call_later(
+            rto, self._transmit, key
+        )
+        self._dispatch_frame(src, dest, pending.frame, is_ack=False)
+
+    def _dispatch_frame(self, src: int, dest: int, frame: bytes, is_ack: bool) -> None:
+        """Roll the fault dice, then put the frame on the wire (maybe later)."""
+        reordered_before = self.injector.reordered
+        if self.injector.should_drop():
+            self._c_drops.inc()
+            return
+        delay = self.injector.send_delay()
+        if self.injector.reordered > reordered_before:
+            self._c_reorders.inc()
+        if delay > 0:
+            self._delayed_frames += 1
+            asyncio.get_running_loop().call_later(
+                delay, self._wire_send, src, dest, frame, is_ack, True
+            )
+        else:
+            self._wire_send(src, dest, frame, is_ack, False)
+
+    def _wire_send(
+        self, src: int, dest: int, frame: bytes, is_ack: bool, was_delayed: bool
+    ) -> None:
+        if was_delayed:
+            self._delayed_frames -= 1
+        if self._closed:
+            return
+        endpoint = self._endpoints.get(src)
+        if endpoint is None or endpoint.is_closing():
+            return
+        tracer = obs_tracer.TRACER
+        if tracer.enabled:
+            with tracer.span(
+                "udp_send", cat="net", tid=src, dest=dest,
+                bytes=len(frame), ack=is_ack,
+            ):
+                endpoint.sendto(frame, self._addrs[dest])
+        else:
+            endpoint.sendto(frame, self._addrs[dest])
+        if is_ack:
+            self._c_acks_sent.inc()
+        else:
+            self._c_data_sent.inc()
+
+    # -- receive path ---------------------------------------------------------------
+
+    def _on_datagram(self, receiver: int, data: bytes, addr) -> None:
+        frames = _frames()
+        frame = frames.try_decode_frame(data)
+        if frame is None:
+            self._c_decode_errors.inc()
+            return
+        if isinstance(frame, frames.AckFrame):
+            # ``frame.src`` acknowledges; ``frame.dest`` is the original sender.
+            self._c_acks_recv.inc()
+            pending = self._pending.pop((frame.dest, frame.src, frame.seq), None)
+            if pending is not None and pending.timer is not None:
+                pending.timer.cancel()
+            return
+        self._c_data_recv.inc()
+        # Always re-ack (the previous ack may have been lost) ...
+        self._dispatch_frame(
+            receiver, frame.src,
+            frames.encode_ack(receiver, frame.src, frame.seq), is_ack=True,
+        )
+        # ... but deliver each frame to the protocol exactly once.
+        seen = self._seen.setdefault(receiver, set())
+        token = (frame.src, frame.seq)
+        if token in seen:
+            self._c_dupes.inc()
+            return
+        seen.add(token)
+        handler = self._handlers.get(receiver)
+        if handler is None:
+            return
+        tracer = obs_tracer.TRACER
+        if tracer.enabled:
+            with tracer.span(
+                "udp_recv", cat="net", tid=receiver, src=frame.src, seq=frame.seq
+            ):
+                handler(receiver, frame.lsa)
+        else:
+            handler(receiver, frame.lsa)
+
+    def counters(self) -> Dict[str, float]:
+        """Snapshot of the transport's counters (name -> value)."""
+        return {
+            name: value
+            for name, value in self.metrics.snapshot().items()
+            if name.startswith("live_")
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"UdpTransport(switches={len(self.switch_ids)}, "
+            f"pending={len(self._pending)})"
+        )

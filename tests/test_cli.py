@@ -17,6 +17,32 @@ class TestParser:
             build_parser().parse_args(["frobnicate"])
 
 
+class TestHelp:
+    """The console entry point must answer --help for every command."""
+
+    def test_top_level_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "command", ["figures", "compare", "trace", "profile", "hierarchy", "live"]
+    )
+    def test_subcommand_help_exits_zero(self, command, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([command, "--help"])
+        assert exc.value.code == 0
+        assert command in capsys.readouterr().out
+
+    def test_help_lists_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for command in ("figures", "compare", "trace", "profile", "hierarchy", "live"):
+            assert command in out
+
+
 class TestCommands:
     def test_trace_runs_and_agrees(self, capsys):
         assert main(["--seed", "3", "trace", "--switches", "10", "--members", "3"]) == 0

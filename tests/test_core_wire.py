@@ -7,7 +7,15 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.lsa import McEvent, McLsa
 from repro.core.mc import Role
-from repro.core.wire import MAGIC, WireError, decode_lsa, encode_lsa
+from repro.core.wire import (
+    MAGIC,
+    WireDecodeError,
+    WireError,
+    decode_lsa,
+    decode_topology,
+    encode_lsa,
+    encode_topology,
+)
 from repro.lsr.lsa import NonMcLsa, RouterLsa
 from repro.trees.base import SHARED, McTopology, MulticastTree
 
@@ -130,14 +138,64 @@ class TestRobustness:
         with pytest.raises(TypeError):
             encode_lsa("not an lsa")
 
+    def test_decode_error_is_single_type(self):
+        """Every failure mode funnels into WireDecodeError (a ValueError)."""
+        assert issubclass(WireDecodeError, WireError)
+        assert issubclass(WireDecodeError, ValueError)
+        for blob in (b"", b"\x00", b"\xd6", b"\xd6\x01", b"\xff" * 40):
+            with pytest.raises(WireDecodeError):
+                decode_lsa(blob)
+
     @given(st.binary(min_size=0, max_size=64))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=200, deadline=None)
     def test_fuzz_never_crashes_uncontrolled(self, blob):
-        """Arbitrary bytes either decode or raise WireError -- no other error."""
+        """Arbitrary bytes either decode or raise WireDecodeError -- nothing else."""
         try:
             decode_lsa(blob)
-        except WireError:
+        except WireDecodeError:
             pass
-        except ValueError as exc:
-            # McLsa validation errors are acceptable decode failures
-            assert "LSA" in str(exc) or "role" in str(exc) or "proposal" in str(exc)
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_fuzz_valid_prefix_corruption(self, suffix):
+        """Truncated/extended real encodings also fail with WireDecodeError."""
+        data = encode_lsa(
+            McLsa(3, McEvent.JOIN, 7, shared_topology(), (1, 2), Role.BOTH)
+        )
+        for blob in (data[: len(data) // 2] + suffix, data + suffix):
+            try:
+                decode_lsa(blob)
+            except WireDecodeError:
+                pass
+
+
+class TestTopologyCodec:
+    def test_roundtrip_shared(self):
+        topo = shared_topology()
+        assert decode_topology(encode_topology(topo)) == topo
+
+    def test_roundtrip_per_source(self):
+        topo = per_source_topology()
+        assert decode_topology(encode_topology(topo)) == topo
+
+    def test_roundtrip_empty(self):
+        topo = McTopology.empty()
+        assert decode_topology(encode_topology(topo)) == topo
+
+    def test_canonical_bytes_stable(self):
+        """Re-encoding a decoded topology reproduces the exact bytes."""
+        data = encode_topology(per_source_topology())
+        assert encode_topology(decode_topology(data)) == data
+
+    def test_trailing_garbage_detected(self):
+        data = encode_topology(shared_topology())
+        with pytest.raises(WireDecodeError, match="trailing"):
+            decode_topology(data + b"\x00")
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_fuzz_never_crashes_uncontrolled(self, blob):
+        try:
+            decode_topology(blob)
+        except WireDecodeError:
+            pass

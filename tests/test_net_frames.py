@@ -1,0 +1,131 @@
+"""Round-trip and fuzz tests for the live runtime's datagram framing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lsa import McEvent, McLsa
+from repro.core.mc import Role
+from repro.core.wire import WireDecodeError
+from repro.lsr.lsa import NonMcLsa, RouterLsa
+from repro.net.frames import (
+    ACK,
+    DATA,
+    FRAME_MAGIC,
+    AckFrame,
+    DataFrame,
+    FrameDecodeError,
+    decode_frame,
+    encode_ack,
+    encode_data,
+    try_decode_frame,
+)
+from repro.trees.base import McTopology, MulticastTree
+
+
+def sample_mc_lsa() -> McLsa:
+    topo = McTopology.shared(MulticastTree.build([(0, 1), (1, 2)], [0, 2]))
+    return McLsa(3, McEvent.JOIN, 7, topo, (1, 0, 2, 0), Role.BOTH)
+
+
+def sample_router_lsa() -> NonMcLsa:
+    return NonMcLsa(2, RouterLsa(2, 17, ((0, 1.5, True), (5, 0.25, False))))
+
+
+class TestRoundTrip:
+    def test_data_with_mc_lsa(self):
+        lsa = sample_mc_lsa()
+        frame = decode_frame(encode_data(3, 9, 42, lsa))
+        assert frame == DataFrame(3, 9, 42, lsa)
+
+    def test_data_with_router_lsa(self):
+        lsa = sample_router_lsa()
+        frame = decode_frame(encode_data(2, 0, 1, lsa))
+        assert frame == DataFrame(2, 0, 1, lsa)
+
+    def test_ack(self):
+        assert decode_frame(encode_ack(9, 3, 42)) == AckFrame(9, 3, 42)
+
+    @given(
+        src=st.integers(0, 2**16 - 1),
+        dest=st.integers(0, 2**16 - 1),
+        seq=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ack_roundtrip_ranges(self, src, dest, seq):
+        assert decode_frame(encode_ack(src, dest, seq)) == AckFrame(src, dest, seq)
+
+
+class TestRobustness:
+    def test_truncated_header(self):
+        with pytest.raises(FrameDecodeError, match="truncated"):
+            decode_frame(b"\xd7\x01")
+
+    def test_bad_magic(self):
+        data = bytearray(encode_ack(1, 2, 3))
+        data[0] = 0x00
+        with pytest.raises(FrameDecodeError, match="magic"):
+            decode_frame(bytes(data))
+
+    def test_lsa_magic_is_not_frame_magic(self):
+        """A raw LSA accidentally fed to the frame decoder must not parse."""
+        from repro.core.wire import encode_lsa
+
+        with pytest.raises(FrameDecodeError, match="magic"):
+            decode_frame(encode_lsa(sample_mc_lsa()))
+
+    def test_bad_version(self):
+        data = bytearray(encode_ack(1, 2, 3))
+        data[1] = 99
+        with pytest.raises(FrameDecodeError, match="version"):
+            decode_frame(bytes(data))
+
+    def test_unknown_type(self):
+        data = bytearray(encode_ack(1, 2, 3))
+        data[2] = 77
+        with pytest.raises(FrameDecodeError, match="type"):
+            decode_frame(bytes(data))
+
+    def test_ack_with_trailing_bytes(self):
+        with pytest.raises(FrameDecodeError, match="ACK"):
+            decode_frame(encode_ack(1, 2, 3) + b"\x00")
+
+    def test_data_with_garbage_payload(self):
+        header = encode_ack(1, 2, 3)[:2] + bytes([DATA]) + encode_ack(1, 2, 3)[3:]
+        with pytest.raises(FrameDecodeError, match="payload"):
+            decode_frame(header + b"garbage")
+
+    def test_frame_error_is_wire_decode_error(self):
+        """One except clause covers frames and LSAs alike."""
+        assert issubclass(FrameDecodeError, WireDecodeError)
+
+    def test_try_decode_returns_none(self):
+        assert try_decode_frame(b"junk") is None
+        assert try_decode_frame(encode_ack(1, 2, 3)) == AckFrame(1, 2, 3)
+
+    @given(st.binary(min_size=0, max_size=96))
+    @settings(max_examples=200, deadline=None)
+    def test_fuzz_never_crashes_uncontrolled(self, blob):
+        """Arbitrary bytes either decode or raise FrameDecodeError."""
+        try:
+            decode_frame(blob)
+        except FrameDecodeError:
+            pass
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_fuzz_corrupted_real_frames(self, suffix):
+        """Mutations of real frames fail controlled (or decode, if benign)."""
+        data = encode_data(3, 9, 42, sample_mc_lsa())
+        for blob in (data[: len(data) // 2] + suffix, data + suffix):
+            try:
+                decode_frame(blob)
+            except FrameDecodeError:
+                pass
+
+    def test_constants(self):
+        from repro.core.wire import MAGIC
+
+        assert FRAME_MAGIC != MAGIC  # frames must never alias raw LSAs
+        assert DATA != ACK
