@@ -15,7 +15,10 @@ Commands:
 * ``live``      -- run a scenario on the live asyncio/UDP backend and
   (optionally) check byte-level equivalence against the discrete-event
   run; ``--loss`` injects seeded datagram loss, ``--metrics`` dumps the
-  transport's counters as Prometheus text.
+  transport's counters as Prometheus text,
+* ``chaos``     -- seeded crash/restart/partition/churn soak on the live
+  backend with hello-based failure detection and neighbor resync;
+  asserts agreement and tree validity at every stable point.
 """
 
 from __future__ import annotations
@@ -204,6 +207,31 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.net.chaos import ChaosSettings, run_chaos_soak_sync
+
+    settings = ChaosSettings(
+        switches=args.switches,
+        seed=args.seed,
+        actions=args.actions,
+        loss=args.loss,
+        duplicate_rate=args.duplicate_rate,
+    )
+    report = run_chaos_soak_sync(settings)
+    for line in report.summary_lines():
+        print(line)
+    print("schedule: " + "; ".join(report.schedule))
+    print("resync/hello counters:")
+    for name, value in sorted(report.counters.items()):
+        if name.startswith(("resync_", "hello_")):
+            print(f"  {name} {value:g}")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(report.prom)
+        print(f"wrote metrics dump to {args.metrics}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -283,6 +311,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the transport's metrics registry as Prometheus text",
     )
     p.set_defaults(func=_cmd_live)
+
+    p = sub.add_parser(
+        "chaos", help="seeded crash/partition/churn soak on the live backend"
+    )
+    p.add_argument("--switches", type=int, default=12)
+    p.add_argument(
+        "--actions",
+        type=int,
+        default=20,
+        help="scheduled fault/churn actions (cleanup actions come on top)",
+    )
+    p.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    p.add_argument(
+        "--loss",
+        type=float,
+        default=0.10,
+        help="injected datagram loss probability (0..1)",
+    )
+    p.add_argument(
+        "--duplicate-rate",
+        type=float,
+        default=0.02,
+        help="injected datagram duplication probability (0..1)",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write the fabric's metrics registry as Prometheus text",
+    )
+    p.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -346,13 +346,22 @@ class DgmcNetwork:
         """Connections whose topology the link event affects.
 
         A failure affects every connection whose installed topology (at the
-        detector) uses the link; a recovery affects none by default, or all
-        active connections when ``reoptimize_on_link_up`` is set.
+        detector) uses the link.  A recovery affects every connection whose
+        installed topology is *degraded* -- it no longer spans the member
+        set because it was computed while part of the membership was
+        unreachable, and restored connectivity is the only signal that the
+        missing members may be reachable again -- or all active connections
+        when ``reoptimize_on_link_up`` is set.
         """
         if event.up:
             if self.config.reoptimize_on_link_up:
                 return sorted(detector.states)
-            return []
+            return sorted(
+                connection_id
+                for connection_id, state in detector.states.items()
+                if state.installed is not None
+                and not state.installed.spans(state.member_set)
+            )
         edge = tuple(sorted((event.u, event.v)))
         affected = []
         for connection_id, state in sorted(detector.states.items()):

@@ -23,7 +23,7 @@ from repro.trees.base import McTopology
 class McState:
     """All D-GMC state one switch keeps for one connection.
 
-    ``resume_from`` restores the (R, E, C) vectors saved when this
+    ``resume_from`` restores the (R, E, C, M) vectors saved when this
     connection's state was last destroyed at this switch (the *tombstone*;
     see :meth:`repro.core.switch.DgmcSwitch._maybe_destroy`).  Event counts
     are cumulative per origin and must never restart while other switches
@@ -35,20 +35,28 @@ class McState:
         self,
         spec: ConnectionSpec,
         n: int,
-        resume_from: Optional[Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]] = None,
+        resume_from: Optional[Tuple[Tuple[int, ...], ...]] = None,
     ) -> None:
         self.spec = spec
         self.n = n
         if resume_from is None:
-            received, expected, current = (0,) * n, (0,) * n, (0,) * n
+            received, expected, current, member = ((0,) * n,) * 4
         else:
-            received, expected, current = resume_from
+            received, expected, current, member = resume_from
         #: R: events heard, per origin switch.
         self.received = VectorTimestamp(received)
         #: E: events known to exist (component-wise max of LSA stamps seen).
         self.expected = VectorTimestamp(expected)
         #: C: the stamp the installed topology is based on.
         self.current_stamp: Tuple[int, ...] = tuple(current)
+        #: M: per origin, that origin's own event index (its R component)
+        #: at its latest *membership* event reflected in ``members``.
+        #: R counts every event an origin emits -- link events included --
+        #: so R alone cannot order membership *views*: a link-event LSA
+        #: overtaking a partition-swallowed join jumps R past the join
+        #: forever.  M moves only on JOIN/LEAVE, so crash-recovery
+        #: snapshots compare M to decide whose view of an origin is newer.
+        self.member_stamp = VectorTimestamp(member)
         #: The shared make_proposal_flag of the two protocol entities.
         self.make_proposal_flag = False
         #: Member list: switch -> role strings ({"sender"}, {"receiver"}, both).

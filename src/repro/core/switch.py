@@ -149,6 +149,7 @@ class DgmcSwitch:
                 state.received.snapshot(),
                 state.expected.snapshot(),
                 state.current_stamp,
+                state.member_stamp.snapshot(),
             )
             del self.states[connection_id]
             del self._mailboxes[connection_id]
@@ -231,6 +232,9 @@ class DgmcSwitch:
         # Line 1: R[x] += 1; E[x] += 1.
         state.received.increment(x)
         state.expected.increment(x)
+        if event in (McEvent.JOIN, McEvent.LEAVE):
+            # M orders membership views of x (link events move R only).
+            state.member_stamp[x] = state.received[x]
 
         if state.no_outstanding_lsas() or self.config.ablate_re_gate:  # line 2
             old_r = state.received.snapshot()  # line 4
@@ -290,13 +294,30 @@ class DgmcSwitch:
             else:
                 _, lsa = box.try_receive()
             if lsa.is_event_lsa:  # lines 5-9
-                state.received.increment(lsa.source)
-                if lsa.event is McEvent.JOIN:
-                    state.apply_join(lsa.source, lsa.role)
-                elif lsa.event is McEvent.LEAVE:
-                    state.apply_leave(lsa.source)
-                # V = link: membership unchanged; the topology change is
-                # learned via the unicast layer's non-MC LSA.
+                # The LSA's own stamp component is the authoritative event
+                # index of its origin: apply iff it is news, and *set* R
+                # rather than increment.  Under in-order delivery this is
+                # exactly the paper's ``R[S] += 1`` (the index is R+1); it
+                # additionally makes duplicated, reordered, or
+                # resync-overtaken event LSAs harmless no-ops and lets R
+                # heal past gaps left by frames a partition swallowed.
+                idx = lsa.timestamp[lsa.source]
+                if idx > state.received[lsa.source]:
+                    state.received[lsa.source] = idx
+                if (
+                    lsa.event in (McEvent.JOIN, McEvent.LEAVE)
+                    and idx > state.member_stamp[lsa.source]
+                ):
+                    # Membership moves on its own M order, so a join
+                    # arriving *after* a link event already jumped R is
+                    # still applied.  V = link: membership unchanged; the
+                    # topology change is learned via the unicast layer's
+                    # non-MC LSA.
+                    state.member_stamp[lsa.source] = idx
+                    if lsa.event is McEvent.JOIN:
+                        state.apply_join(lsa.source, lsa.role)
+                    else:
+                        state.apply_leave(lsa.source)
             state.expected.merge(lsa.timestamp)  # line 10
             if lsa.proposal is not None and stamp_geq(
                 lsa.timestamp, state.expected.snapshot()
@@ -426,6 +447,140 @@ class DgmcSwitch:
         if stamp_gt(stamp, incumbent_stamp):
             return True
         return tuple(stamp) == tuple(incumbent_stamp) and proposer < incumbent_proposer
+
+    # -- crash-recovery resync (used by repro.net.resync) ----------------------
+
+    def capture_resync_snapshot(self, connection_id: int):
+        """A :class:`~repro.net.frames.McSnapshot` of one connection.
+
+        None when this switch holds no state for the connection.  The
+        snapshot is the complete arbitration picture (R, E, C, proposer,
+        member list, installed topology bytes) a restarted or healed
+        neighbor needs to rejoin the vector-timestamp protocol.
+        """
+        state = self.states.get(connection_id)
+        if state is None:
+            return None
+        from repro.core.wire import encode_topology
+        from repro.net import frames
+
+        topology = (
+            encode_topology(state.installed)
+            if state.installed is not None
+            else None
+        )
+        return frames.McSnapshot(
+            connection_id=connection_id,
+            received=state.received.snapshot(),
+            expected=state.expected.snapshot(),
+            current=state.current_stamp,
+            proposer=state.current_proposer,
+            member_stamp=state.member_stamp.snapshot(),
+            members=tuple(sorted(state.members.items())),
+            topology=topology,
+        )
+
+    def capture_resync_snapshots(self) -> list:
+        """Snapshots of every connection this switch currently holds."""
+        out = []
+        for connection_id in sorted(self.states):
+            snap = self.capture_resync_snapshot(connection_id)
+            if snap is not None:
+                out.append(snap)
+        return out
+
+    def apply_resync_snapshot(self, snap) -> bool:
+        """Merge a peer's arbitration snapshot; True when anything changed.
+
+        The merge is a monotone lattice join, so snapshot gossip
+        (re-broadcast on change, see :mod:`repro.net.resync`) terminates:
+
+        * R takes the component-wise max (events the peer heard exist);
+        * membership merges per origin -- the snapshot's view of switch
+          ``o`` is adopted iff the snapshot's membership stamp ``M[o]``
+          is strictly newer than ours (``M[o]`` is ``o``'s own event
+          index at its latest join/leave, so it totally orders membership
+          views of ``o`` even when link events have pushed R past a
+          membership LSA the partition swallowed);
+        * E takes the component-wise max of both vectors (and of the
+          snapshot's R: events it heard certainly exist);
+        * the snapshot topology installs iff its (stamp, proposer) beats
+          the local one under the usual precedence -- incomparable stamps
+          (both sides installed during a partition) beat neither way, and
+          the triggered re-proposal below supersedes both.
+
+        When the merge leaves ``R > C`` with no LSA in flight to wake
+        ReceiveLSA(), a :meth:`_resync_kick` process is spawned to
+        arbitrate the merged event set.
+        """
+        state = self.get_or_create_state(snap.connection_id)
+        changed = False
+        member_view = snap.member_map()
+        for origin, their_r in enumerate(snap.received):
+            if their_r > state.received[origin]:
+                state.received[origin] = their_r
+                changed = True
+        for origin, their_m in enumerate(snap.member_stamp):
+            if their_m > state.member_stamp[origin]:
+                state.member_stamp[origin] = their_m
+                if origin in member_view:
+                    state.members[origin] = member_view[origin]
+                else:
+                    state.members.pop(origin, None)
+                changed = True
+        if state.expected.merge(snap.received):
+            changed = True
+        if state.expected.merge(snap.expected):
+            changed = True
+        if snap.topology is not None and self._beats(
+            snap.current, snap.proposer, state.current_stamp, state.current_proposer
+        ):
+            from repro.core.wire import decode_topology
+
+            self._install(
+                state, decode_topology(snap.topology), snap.current, snap.proposer
+            )
+            changed = True
+        if changed and state.covers_new_events():
+            state.make_proposal_flag = True
+            self.sim.spawn(
+                self._resync_kick(snap.connection_id, state),
+                name=f"ResyncKick(sw={self.switch_id}, m={snap.connection_id})",
+            )
+        return changed
+
+    def _resync_kick(self, connection_id: int, state: McState):
+        """Triggered proposal after a resync merge (Figure 5 lines 19-31).
+
+        A snapshot merge can leave ``R > C`` with no LSA in any mailbox,
+        so ReceiveLSA() would never run its triggered-computation tail;
+        this process replays exactly that tail.  Concurrent kicks at
+        several switches converge through the equal-stamp lower-proposer
+        rule, like any other triggered-proposal race.
+        """
+        x = self.switch_id
+        if (
+            self.states.get(connection_id) is not state
+            or not state.make_proposal_flag
+            or not state.no_outstanding_lsas()
+            or not state.covers_new_events()
+        ):
+            return
+        old_r = state.received.snapshot()  # line 20
+        proposal = yield from self._compute_proposal(state)  # line 21
+        box = self._mailboxes.get(connection_id)
+        if (
+            self.states.get(connection_id) is not state
+            or not ((box is None or box.empty) and state.received.equals(old_r))
+        ):  # lines 28-30: events raced in during Tc -- withdraw
+            state.proposals_withdrawn += 1
+            return
+        self._flood(McLsa(x, McEvent.NONE, connection_id, proposal, old_r))  # 23
+        state.expected.merge(old_r)  # line 24
+        state.make_proposal_flag = False  # line 27
+        if self._beats(old_r, x, state.current_stamp, state.current_proposer):
+            self._install(state, proposal, old_r, proposer=x)  # lines 25-26
+        self._maybe_destroy(connection_id)
 
     # -- forwarding view -------------------------------------------------------------
 

@@ -50,6 +50,19 @@ class LinkStateDatabase:
     def get(self, origin: int) -> Optional[RouterLsa]:
         return self._entries.get(origin)
 
+    def headers(self) -> Dict[int, int]:
+        """The database summary: ``{origin: seqnum}`` of every stored LSA.
+
+        This is the payload of a database-description (DBD) frame in the
+        neighbor resync protocol -- headers are enough for both sides to
+        compute exactly which full LSAs the other is missing.
+        """
+        return {origin: lsa.seqnum for origin, lsa in self._entries.items()}
+
+    def entries(self) -> Dict[int, RouterLsa]:
+        """Snapshot of the stored LSAs by origin (do not mutate the LSAs)."""
+        return dict(self._entries)
+
     def complete(self) -> bool:
         """True when the database holds an LSA from every switch."""
         return len(self._entries) == self.n

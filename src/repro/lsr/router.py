@@ -77,6 +77,21 @@ class UnicastRouter:
             self.on_image_change()
         return lsa
 
+    @property
+    def seqnum(self) -> int:
+        """The last sequence number this router originated."""
+        return self._seqnum
+
+    def ensure_seqnum_above(self, seq: int) -> None:
+        """Raise the origination counter past ``seq`` (crash recovery).
+
+        OSPF's self-originated-LSA rule: when a restarted router hears a
+        pre-crash LSA of its own with a sequence number at or above its
+        counter, it must jump past it before re-originating, or peers will
+        discard the fresh LSA as stale.
+        """
+        self._seqnum = max(self._seqnum, seq)
+
     # -- reception -------------------------------------------------------------
 
     def receive(self, lsa: NonMcLsa) -> bool:

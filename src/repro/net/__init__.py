@@ -13,6 +13,9 @@ simulator.  The same protocol logic (:class:`repro.core.switch.DgmcSwitch`,
 * :mod:`repro.net.host` -- :class:`LiveSwitch`, one protocol host,
 * :mod:`repro.net.fabric` -- :class:`LiveFabric`, boots N switches and
   drives a workload to quiescence,
+* :mod:`repro.net.resync` -- hello-based failure detection and the
+  neighbor database-exchange (resync) protocol,
+* :mod:`repro.net.chaos` -- the seeded crash/partition/churn soak harness,
 * :mod:`repro.net.equiv` -- the simulated-vs-live equivalence harness.
 
 ``LiveSwitch`` / ``LiveFabric`` / the equivalence helpers are exported
@@ -37,14 +40,31 @@ _LAZY = {
     # transport); frames must therefore resolve lazily too.
     "AckFrame": "repro.net.frames",
     "DataFrame": "repro.net.frames",
+    "HelloFrame": "repro.net.frames",
+    "DbdFrame": "repro.net.frames",
+    "SnapFrame": "repro.net.frames",
+    "LsuFrame": "repro.net.frames",
+    "McSnapshot": "repro.net.frames",
     "FrameDecodeError": "repro.net.frames",
     "decode_frame": "repro.net.frames",
     "encode_ack": "repro.net.frames",
     "encode_data": "repro.net.frames",
+    "encode_hello": "repro.net.frames",
+    "encode_dbd": "repro.net.frames",
+    "encode_snap": "repro.net.frames",
+    "encode_lsu": "repro.net.frames",
     "LiveSwitch": "repro.net.host",
     "LiveFloodOut": "repro.net.host",
     "LiveFabric": "repro.net.fabric",
     "LiveConfig": "repro.net.fabric",
+    "QuiescenceTimeout": "repro.net.fabric",
+    "ResyncManager": "repro.net.resync",
+    "ChaosAction": "repro.net.chaos",
+    "ChaosReport": "repro.net.chaos",
+    "ChaosSettings": "repro.net.chaos",
+    "build_schedule": "repro.net.chaos",
+    "run_chaos_soak": "repro.net.chaos",
+    "run_chaos_soak_sync": "repro.net.chaos",
     "LiveScenario": "repro.net.equiv",
     "BackendResult": "repro.net.equiv",
     "EquivalenceReport": "repro.net.equiv",

@@ -1,0 +1,329 @@
+"""Seeded chaos soak: crash, partition, churn -- then prove agreement.
+
+The harness drives a :class:`~repro.net.fabric.LiveFabric` through a
+seeded schedule of infrastructure faults (switch crashes with cold
+restarts, network partitions with heals) interleaved with membership
+churn, on top of steady injected frame loss/duplication.  After every
+action the fabric settles behind the quiescence barrier; at every
+*stable* point (no active partition, no crashed switch) the paper's
+correctness conditions are re-asserted:
+
+* :func:`~repro.core.protocol.check_agreement` over all live switches,
+* byte-identical installed trees through the real wire codec,
+* every tree acyclic/connected and the shared tree spanning the members,
+* every previously-restarted switch holding a complete LSDB -- rebuilt
+  by the resync protocol alone (``seed_converged_lsdb`` is never called
+  after boot; restarts go through ``LiveFabric.restart``).
+
+The schedule is a pure function of the seed, so a failing soak replays
+exactly with ``repro chaos --seed N``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.events import JoinEvent, LeaveEvent
+from repro.core.protocol import ProtocolConfig, check_agreement
+from repro.net.equiv import _canonical_tree_bytes
+from repro.net.fabric import LiveConfig, LiveFabric
+from repro.net.faults import FaultPlan
+from repro.net.transport import RetransmitPolicy
+from repro.topo.generators import waxman_network
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One scheduled fault or churn event."""
+
+    #: crash | restart | partition | heal | join | leave
+    kind: str
+    #: Switch id for crash/restart/join/leave (-1 otherwise).
+    target: int = -1
+    #: Partition groups (partition only).
+    groups: Tuple[Tuple[int, ...], ...] = ()
+
+    def describe(self) -> str:
+        if self.kind == "partition":
+            return "partition" + "|".join(
+                ",".join(str(x) for x in g) for g in self.groups
+            )
+        if self.kind == "heal":
+            return "heal"
+        return f"{self.kind} {self.target}"
+
+
+@dataclass(frozen=True)
+class ChaosSettings:
+    """Everything that parameterises one soak (all seeded/deterministic)."""
+
+    switches: int = 12
+    seed: int = 1996
+    #: Scheduled fault/churn actions (cleanup restarts/heal come on top).
+    actions: int = 20
+    loss: float = 0.10
+    duplicate_rate: float = 0.02
+    hello_interval: float = 0.05
+    #: 8 hello intervals: at 10% loss a false death needs 8 consecutive
+    #: losses (~1e-8), while a real one is declared in 0.4s.
+    dead_interval: float = 0.40
+    quiesce_timeout: float = 60.0
+    connection_id: int = 1
+
+    def live_config(self) -> LiveConfig:
+        # A tight retransmit budget (8 attempts, ~0.55s) so frames sent
+        # into a cut or a crashed switch are abandoned quickly instead of
+        # wedging the quiescence barrier; at 10% loss the abandonment
+        # probability for a *deliverable* frame is ~1e-8.
+        return LiveConfig(
+            faults=FaultPlan(
+                loss=self.loss, duplicate_rate=self.duplicate_rate, seed=self.seed
+            ),
+            policy=RetransmitPolicy(rto=0.01, rto_max=0.1, max_attempts=8),
+            hello_interval=self.hello_interval,
+            dead_interval=self.dead_interval,
+            quiesce_timeout=self.quiesce_timeout,
+        )
+
+
+def build_schedule(
+    n: int, rng: random.Random, count: int, initial_members: Set[int]
+) -> List[ChaosAction]:
+    """A feasible seeded schedule of ``count``-plus actions.
+
+    Feasibility is tracked while drawing (never restart a live switch,
+    never stack partitions, keep at least two members, bound simultaneous
+    crashes); a crash+restart cycle and a partition+heal cycle are
+    guaranteed (appended if the draw missed them), and cleanup actions
+    restore every switch and heal any partition so the soak ends at a
+    stable point.
+    """
+    actions: List[ChaosAction] = []
+    crashed: Set[int] = set()
+    partitioned = False
+    roster = set(initial_members)
+    max_down = max(1, n // 4)
+
+    def pick_partition() -> ChaosAction:
+        k = rng.randint(2, n - 2)
+        side = sorted(rng.sample(range(n), k))
+        rest = sorted(set(range(n)) - set(side))
+        return ChaosAction("partition", groups=(tuple(side), tuple(rest)))
+
+    for _ in range(count):
+        kinds: List[str] = []
+        live = [x for x in range(n) if x not in crashed]
+        joinable = [x for x in live if x not in roster]
+        leavable = [x for x in roster if x in live]
+        if len(crashed) < max_down:
+            kinds += ["crash"] * 3
+        if crashed:
+            kinds += ["restart"] * 3
+        if partitioned:
+            kinds += ["heal"] * 3
+        elif n >= 4:  # a partition needs two groups of >= 2
+            kinds += ["partition"] * 2
+        if joinable:
+            kinds += ["join"] * 4
+        if len(leavable) > 2:
+            kinds += ["leave"] * 2
+        kind = rng.choice(kinds)
+        if kind == "crash":
+            target = rng.choice(live)
+            crashed.add(target)
+            actions.append(ChaosAction("crash", target))
+        elif kind == "restart":
+            target = rng.choice(sorted(crashed))
+            crashed.discard(target)
+            actions.append(ChaosAction("restart", target))
+        elif kind == "partition":
+            partitioned = True
+            actions.append(pick_partition())
+        elif kind == "heal":
+            partitioned = False
+            actions.append(ChaosAction("heal"))
+        elif kind == "join":
+            target = rng.choice(joinable)
+            roster.add(target)
+            actions.append(ChaosAction("join", target))
+        else:  # leave
+            target = rng.choice(sorted(leavable))
+            roster.discard(target)
+            actions.append(ChaosAction("leave", target))
+
+    # Guarantee the two acceptance-critical cycles.
+    kinds_seen = {a.kind for a in actions}
+    if "crash" not in kinds_seen or "restart" not in kinds_seen:
+        live = [x for x in range(n) if x not in crashed]
+        target = rng.choice(live)
+        actions.append(ChaosAction("crash", target))
+        actions.append(ChaosAction("restart", target))
+    if "partition" not in kinds_seen and n >= 4:
+        if partitioned:
+            actions.append(ChaosAction("heal"))
+        actions.append(pick_partition())
+        partitioned = True
+
+    # Cleanup: end at a stable point (everything healed and live).
+    if partitioned:
+        actions.append(ChaosAction("heal"))
+    for x in sorted(crashed):
+        actions.append(ChaosAction("restart", x))
+    return actions
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one soak."""
+
+    settings: ChaosSettings
+    schedule: List[str]
+    #: Stable-point invariant checks that ran / the violations they found.
+    checks: int = 0
+    violations: List[str] = field(default_factory=list)
+    #: Switches that were crashed and cold-restarted at least once.
+    restarted: List[int] = field(default_factory=list)
+    crash_count: int = 0
+    partition_count: int = 0
+    final_detail: str = ""
+    final_members: Tuple[int, ...] = ()
+    counters: Dict[str, float] = field(default_factory=dict)
+    prom: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.checks > 0
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"chaos soak: {len(self.schedule)} actions on "
+            f"{self.settings.switches} switches (seed {self.settings.seed})",
+            f"crashes: {self.crash_count}  partitions: {self.partition_count}  "
+            f"restarted switches: {self.restarted}",
+            f"stable-point checks: {self.checks}  violations: "
+            f"{len(self.violations)}",
+            f"final members: {list(self.final_members)}",
+            f"agreement: {self.ok}",
+        ]
+        lines.extend(f"  VIOLATION {v}" for v in self.violations)
+        return lines
+
+
+def _stable_invariants(fabric: LiveFabric, connection_id: int, context: str) -> List[str]:
+    """The paper's correctness conditions, checked at a stable point."""
+    problems: List[str] = []
+    states = fabric.states_for(connection_id)
+    ok, detail = check_agreement(connection_id, states)
+    if not ok:
+        problems.append(f"{context}: {detail}")
+    tree_bytes = _canonical_tree_bytes(states)
+    if len(set(tree_bytes.values())) > 1:
+        problems.append(f"{context}: installed trees differ on the wire")
+    if states:
+        ref = states[min(states)]
+        if ref.installed is not None:
+            for key, tree in ref.installed.trees:
+                if not tree.is_tree():
+                    problems.append(
+                        f"{context}: installed topology (key {key}) is not a tree"
+                    )
+            shared = ref.installed.shared_tree
+            if shared is not None and not shared.spans(ref.member_set):
+                problems.append(
+                    f"{context}: shared tree does not span members "
+                    f"{sorted(ref.member_set)}"
+                )
+    for x, host in sorted(fabric.hosts.items()):
+        if fabric.generations[x] > 1 and not host.router.lsdb.complete():
+            problems.append(
+                f"{context}: restarted switch {x} has an incomplete LSDB"
+            )
+    return problems
+
+
+async def run_chaos_soak(settings: Optional[ChaosSettings] = None) -> ChaosReport:
+    """Execute one seeded soak end to end and return its report."""
+    cfg = settings or ChaosSettings()
+    rng = random.Random(cfg.seed)
+    net = waxman_network(cfg.switches, rng)
+    initial = set(rng.sample(range(cfg.switches), min(4, cfg.switches)))
+    schedule = build_schedule(cfg.switches, rng, cfg.actions, initial)
+    report = ChaosReport(settings=cfg, schedule=[a.describe() for a in schedule])
+    report.crash_count = sum(1 for a in schedule if a.kind == "crash")
+    report.partition_count = sum(1 for a in schedule if a.kind == "partition")
+
+    fabric = LiveFabric(net, ProtocolConfig(), cfg.live_config())
+    fabric.register_symmetric(cfg.connection_id)
+    restarted: Set[int] = set()
+    # Settling windows: a crash/partition only becomes *observable* after
+    # a dead interval of hello silence; a restart/heal only acts on the
+    # next hello exchange.  The quiescence barrier then drains whatever
+    # those observations set in motion.
+    failure_settle = 1.5 * cfg.dead_interval
+    recovery_settle = 4.0 * cfg.hello_interval
+    try:
+        await fabric.start()
+        for member in sorted(initial):
+            fabric.hosts[member].fire_membership(
+                JoinEvent(member, cfg.connection_id)
+            )
+            await fabric.quiesce()
+        for action in schedule:
+            if action.kind == "crash":
+                await fabric.crash(action.target)
+                await asyncio.sleep(failure_settle)
+            elif action.kind == "restart":
+                await fabric.restart(action.target)
+                restarted.add(action.target)
+                await asyncio.sleep(recovery_settle)
+            elif action.kind == "partition":
+                fabric.partition([list(g) for g in action.groups])
+                await asyncio.sleep(failure_settle)
+            elif action.kind == "heal":
+                fabric.heal_partition()
+                await asyncio.sleep(recovery_settle)
+            elif action.kind == "join":
+                fabric.hosts[action.target].fire_membership(
+                    JoinEvent(action.target, cfg.connection_id)
+                )
+            else:  # leave
+                fabric.hosts[action.target].fire_membership(
+                    LeaveEvent(action.target, cfg.connection_id)
+                )
+            await fabric.quiesce()
+            if not fabric.partitioned and not fabric.crashed:
+                report.checks += 1
+                report.violations.extend(
+                    _stable_invariants(
+                        fabric, cfg.connection_id, f"after [{action.describe()}]"
+                    )
+                )
+        # Final settle: one extra recovery window so late link-up floods
+        # and snapshot gossip fully drain before the last verdict.
+        await asyncio.sleep(recovery_settle)
+        await fabric.quiesce()
+        report.checks += 1
+        report.violations.extend(
+            _stable_invariants(fabric, cfg.connection_id, "final")
+        )
+        ok, detail = fabric.agreement(cfg.connection_id)
+        report.final_detail = detail
+        if not ok:
+            report.violations.append(f"final: {detail}")
+        states = fabric.states_for(cfg.connection_id)
+        if states:
+            report.final_members = tuple(sorted(states[min(states)].members))
+        report.restarted = sorted(restarted)
+        report.counters = fabric.counters()
+        report.prom = fabric.metrics.to_prometheus()
+    finally:
+        await fabric.shutdown()
+    return report
+
+
+def run_chaos_soak_sync(settings: Optional[ChaosSettings] = None) -> ChaosReport:
+    """Synchronous wrapper (CLI / test entry point)."""
+    return asyncio.run(run_chaos_soak(settings))

@@ -56,10 +56,18 @@ class LiveConfig:
     poll_interval: float = 0.005
     #: Consecutive idle polls required before declaring quiescence.
     settle_polls: int = 2
+    #: Hello keepalive cadence, wall seconds (0 disables failure
+    #: detection and resync; the PR3 behaviour).
+    hello_interval: float = 0.0
+    #: Silence span before a neighbor is declared dead (0 = eight hello
+    #: intervals; see LiveSwitch.dead_interval for the rationale).
+    dead_interval: float = 0.0
 
     def __post_init__(self) -> None:
         if self.pacing not in ("barrier", "timed"):
             raise ValueError(f"unknown pacing {self.pacing!r}")
+        if self.hello_interval < 0 or self.dead_interval < 0:
+            raise ValueError("hello_interval and dead_interval must be >= 0")
 
 
 class QuiescenceTimeout(RuntimeError):
@@ -97,6 +105,12 @@ class LiveFabric:
         self._shut_down = False
         self.events_injected = 0
         self.install_log: List[InstallRecord] = []
+        #: Boot generation per switch (bumped by every restart).
+        self.generations: Dict[int, int] = {x: 1 for x in net.switches()}
+        #: Currently crashed switches (no host object, traffic blackholed).
+        self.crashed: set[int] = set()
+        #: Cross-group pairs severed by the active partition (empty = none).
+        self._partition_pairs: set[Tuple[int, int]] = set()
 
     # -- connection registry ---------------------------------------------------
 
@@ -129,22 +143,31 @@ class LiveFabric:
             raise RuntimeError("fabric already started")
         await self.transport.start()
         for x in self.net.switches():
-            host = LiveSwitch(
-                x,
-                self.net.copy(),
-                self.config,
-                self.transport,
-                connection_registry=self.connection_registry,
-                time_scale=self.live.time_scale,
-                on_install=self._record_install,
-            )
-            self.transport.register(x, host.ingest)
-            self.hosts[x] = host
+            self.hosts[x] = self._make_host(x, generation=1, cold_boot=False)
         for host in self.hosts.values():
             host.seed_converged_lsdb()
         for host in self.hosts.values():
             await host.start()
         self._started = True
+
+    def _make_host(self, x: int, generation: int, cold_boot: bool) -> LiveSwitch:
+        """Build and register one host (boot and restart share this)."""
+        host = LiveSwitch(
+            x,
+            self.net.copy(),
+            self.config,
+            self.transport,
+            connection_registry=self.connection_registry,
+            time_scale=self.live.time_scale,
+            on_install=self._record_install,
+            generation=generation,
+            hello_interval=self.live.hello_interval,
+            dead_interval=self.live.dead_interval,
+            cold_boot=cold_boot,
+        )
+        self.transport.register(x, host.ingest)
+        self.transport.register_control(x, host.handle_control)
+        return host
 
     async def shutdown(self) -> None:
         """Graceful teardown: stop every pump, then close every socket."""
@@ -167,15 +190,98 @@ class LiveFabric:
             )
         )
 
+    # -- infrastructure failures (crash / restart / partition) -----------------
+
+    async def crash(self, x: int) -> None:
+        """Hard-kill switch ``x``: blackhole its traffic, stop its host.
+
+        No goodbye crosses the wire -- neighbors discover the death only
+        through hello silence (requires ``hello_interval > 0``).  The
+        host object is discarded; all volatile protocol state (LSDB, MC
+        vectors, installed trees) dies with it, exactly like a power cut.
+        """
+        if x not in self.hosts:
+            raise ValueError(f"switch {x} is not live")
+        host = self.hosts[x]
+        self.transport.set_host_down(x)
+        self.transport.unregister(x)
+        await host.stop()
+        del self.hosts[x]
+        self.crashed.add(x)
+
+    async def restart(self, x: int) -> None:
+        """Cold-boot a crashed switch with a bumped boot generation.
+
+        The new incarnation starts from an *empty* database (only its own
+        freshly originated LSA) and rebuilds everything through the
+        resync protocol: its generation bump makes neighbors open a
+        database exchange, and ``cold_boot`` makes it pull from them --
+        ``seed_converged_lsdb`` is deliberately never called here.
+        """
+        if x not in self.crashed:
+            raise ValueError(f"switch {x} is not crashed")
+        self.generations[x] += 1
+        host = self._make_host(x, generation=self.generations[x], cold_boot=True)
+        self.hosts[x] = host
+        host.boot_cold()
+        self.crashed.discard(x)
+        self.transport.set_host_up(x)
+        await host.start()
+
+    def partition(self, groups: List[List[int]]) -> None:
+        """Sever every cross-group switch pair (a network partition).
+
+        Under the origin-broadcast flooding model a partition is exactly
+        the set of cross-group pairs cut at the transport; in-flight
+        frames across the boundary burn their retransmit budget and are
+        abandoned.  One partition may be active at a time (nested
+        partitions would make :meth:`heal_partition` ambiguous).
+        """
+        if self._partition_pairs:
+            raise RuntimeError("a partition is already active; heal it first")
+        seen: set[int] = set()
+        for group in groups:
+            overlap = seen.intersection(group)
+            if overlap:
+                raise ValueError(f"groups overlap on {sorted(overlap)}")
+            seen.update(group)
+        pairs = {
+            (u, v)
+            for i, g in enumerate(groups)
+            for u in g
+            for other in groups[i + 1 :]
+            for v in other
+        }
+        self._partition_pairs = pairs
+        self.transport.injector.cut(pairs)
+
+    def heal_partition(self) -> None:
+        """Reconnect the active partition (no-op when none is active)."""
+        self.transport.injector.heal(self._partition_pairs)
+        self._partition_pairs = set()
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._partition_pairs)
+
+    def cut_links(self, pairs: List[Tuple[int, int]]) -> None:
+        """Sever individual switch pairs (see docs/live-runtime.md for the
+        origin-broadcast caveat: a cut silences the whole pair, which is
+        stronger than one failed link on a multipath topology)."""
+        self.transport.injector.cut(pairs)
+
+    def heal_links(self, pairs: List[Tuple[int, int]]) -> None:
+        self.transport.injector.heal(pairs)
+
     # -- event injection ------------------------------------------------------------
 
     def inject(self, event: Any, at: float) -> None:
         """Queue an event for the run (ordered by ``at``, then injection order)."""
         if isinstance(event, NodeEvent):
             raise NotImplementedError(
-                "nodal events are not supported by the live runtime yet "
-                "(a dead host needs process-level isolation); "
-                "see docs/live-runtime.md"
+                "scheduled nodal events are not supported by the live-runtime "
+                "event queue; crash and recover switches explicitly with "
+                "LiveFabric.crash() / restart() (see docs/live-runtime.md)"
             )
         if not isinstance(event, (JoinEvent, LeaveEvent, LinkEvent)):
             raise TypeError(f"unknown event {event!r}")
@@ -188,6 +294,9 @@ class LiveFabric:
             self.hosts[event.switch].fire_membership(event)
         elif isinstance(event, LinkEvent):
             other = event.u if event.detector == event.v else event.v
+            # Track physical reality on the fabric's own graph too, so a
+            # host restarted later boots with the true incident states.
+            self.net.set_link_state(event.u, event.v, event.up)
             # Both endpoints observe the physical change; only the
             # designated detector announces it (Figure 2).
             self.hosts[other].apply_link_state(event.u, event.v, event.up)
@@ -246,10 +355,45 @@ class LiveFabric:
                 consecutive = 0
             if loop.time() > deadline:
                 raise QuiescenceTimeout(
-                    f"no quiescence within {budget}s: "
-                    f"{self.transport.in_flight} frames unacked, busy hosts "
-                    f"{[x for x, h in self.hosts.items() if not h.idle]}"
+                    f"no quiescence within {budget}s: {self.quiesce_diagnostics()}"
                 )
+
+    def quiesce_diagnostics(self) -> str:
+        """One-line state dump for a stuck barrier: who is busy, and why.
+
+        Names every non-idle host with its pump flag, wake flag, local
+        event-heap depth, and queued MC LSAs, plus the transport's
+        unacked frame keys -- enough to tell a wedged host from a frame
+        burning its retransmit budget into a cut or a crashed peer.
+        """
+        busy = []
+        for x, host in sorted(self.hosts.items()):
+            if host.idle:
+                continue
+            queued = sum(
+                len(box._queue) for box in host.switch._mailboxes.values()
+            )
+            busy.append(
+                f"host {x}(pumping={host._pumping} wake={host._wake.is_set()} "
+                f"heap={host.sim.queue_depth} queued_mc={queued})"
+            )
+        pending = self.transport.pending_keys()
+        shown = ", ".join(
+            f"{src}->{dest}#{seq}" for src, dest, seq in pending[:8]
+        )
+        if len(pending) > 8:
+            shown += f", ... {len(pending) - 8} more"
+        return (
+            f"{self.transport.in_flight} frames unacked"
+            + (f" [{shown}]" if pending else "")
+            + f"; busy hosts: {'; '.join(busy) if busy else 'none'}"
+            + (f"; crashed: {sorted(self.crashed)}" if self.crashed else "")
+            + (
+                f"; cut pairs: {sorted(self.transport.injector.cut_pairs)}"
+                if self.transport.injector.cut_pairs
+                else ""
+            )
+        )
 
     # -- inspection ----------------------------------------------------------------------
 
@@ -269,7 +413,7 @@ class LiveFabric:
         return sum(h.flood_out.count_for("mc") for h in self.hosts.values())
 
     def counters(self) -> Dict[str, float]:
-        """The transport's live_* obs counters (name -> value)."""
+        """The runtime's obs counters: live_* transport plus resync_*/hello_*."""
         return self.transport.counters()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,4 +1,4 @@
-"""Seeded loss / reorder / delay injection for the UDP transport.
+"""Seeded loss / reorder / delay / duplication injection plus link cuts.
 
 The paper's evaluation (and the systematic-testing literature it leans
 on) exercises the protocol under scheduled events only; the live runtime
@@ -6,12 +6,20 @@ adds the failure modes a real datagram fabric exhibits.  Faults are
 decided *per transmission attempt* at the sender's socket boundary, so a
 retransmission of a lost frame rolls the dice again -- exactly what a
 lossy physical link does.
+
+Beyond the probabilistic dials, the injector also holds the runtime
+**cut set**: switch pairs between which every frame is dropped, the
+transport-level realisation of a severed link or a network partition
+(see :meth:`~repro.net.fabric.LiveFabric.partition`).  Cut checks are
+plain set lookups that never touch the RNG, so cutting and healing links
+mid-run does not perturb the seeded loss/reorder/delay sequence.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterable, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -21,6 +29,10 @@ class FaultPlan:
     * ``loss`` -- probability a transmission attempt is silently dropped,
     * ``reorder`` -- probability a frame is held back by ``reorder_delay``
       seconds so later frames overtake it,
+    * ``duplicate_rate`` -- probability a frame that survived the loss
+      dial is put on the wire twice (receive-side dedup must absorb the
+      copy; without this dial the dedup path only ever sees
+      retransmit-induced duplicates),
     * ``delay`` / ``jitter`` -- fixed extra latency plus a uniform random
       component, applied to every frame that is not dropped,
     * ``seed`` -- RNG seed; the same plan and traffic produce the same
@@ -30,12 +42,13 @@ class FaultPlan:
     loss: float = 0.0
     reorder: float = 0.0
     reorder_delay: float = 0.05
+    duplicate_rate: float = 0.0
     delay: float = 0.0
     jitter: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
-        for name in ("loss", "reorder"):
+        for name in ("loss", "reorder", "duplicate_rate"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {p}")
@@ -45,11 +58,22 @@ class FaultPlan:
 
     @property
     def active(self) -> bool:
-        return bool(self.loss or self.reorder or self.delay or self.jitter)
+        return bool(
+            self.loss or self.reorder or self.duplicate_rate
+            or self.delay or self.jitter
+        )
+
+
+def _pair_key(u: int, v: int) -> Tuple[int, int]:
+    return (u, v) if u <= v else (v, u)
 
 
 class FaultInjector:
-    """Stateful decider: one seeded RNG over a :class:`FaultPlan`."""
+    """Stateful decider: one seeded RNG over a :class:`FaultPlan`.
+
+    Also tracks the runtime cut set (severed switch pairs).  The dice
+    methods consume the RNG stream; the cut methods never do.
+    """
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
@@ -58,10 +82,24 @@ class FaultInjector:
         self.dropped = 0
         #: Transmission attempts held back by the reorder dial.
         self.reordered = 0
+        #: Transmission attempts duplicated by the duplicate dial.
+        self.duplicated = 0
+        #: Severed switch pairs (canonical order); frames in either
+        #: direction between a cut pair are dropped deterministically.
+        self._cuts: Set[Tuple[int, int]] = set()
+
+    # -- probabilistic dials (consume the RNG stream) -----------------------
 
     def should_drop(self) -> bool:
         if self.plan.loss and self._rng.random() < self.plan.loss:
             self.dropped += 1
+            return True
+        return False
+
+    def should_duplicate(self) -> bool:
+        """Whether to put a second copy of this frame on the wire."""
+        if self.plan.duplicate_rate and self._rng.random() < self.plan.duplicate_rate:
+            self.duplicated += 1
             return True
         return False
 
@@ -74,3 +112,26 @@ class FaultInjector:
             self.reordered += 1
             delay += self.plan.reorder_delay
         return delay
+
+    # -- link cuts (deterministic; never consume the RNG stream) -------------
+
+    def cut(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Sever the given switch pairs (both directions)."""
+        for u, v in pairs:
+            self._cuts.add(_pair_key(u, v))
+
+    def heal(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Restore previously cut switch pairs (idempotent)."""
+        for u, v in pairs:
+            self._cuts.discard(_pair_key(u, v))
+
+    def heal_all(self) -> None:
+        self._cuts.clear()
+
+    def is_cut(self, src: int, dest: int) -> bool:
+        return _pair_key(src, dest) in self._cuts
+
+    @property
+    def cut_pairs(self) -> Set[Tuple[int, int]]:
+        """Snapshot of the currently severed pairs."""
+        return set(self._cuts)

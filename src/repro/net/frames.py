@@ -1,23 +1,37 @@
 """Datagram frame format of the live runtime.
 
-A UDP datagram carries exactly one frame.  Two frame types exist:
-
-DATA (type 1) -- one :mod:`repro.core.wire`-encoded LSA::
+A UDP datagram carries exactly one frame.  All frames share one header::
 
     magic    u8   = 0xD7   (distinct from the LSA magic 0xD6)
     version  u8   = 1
-    type     u8   = 1
+    type     u8
     src      u16  originating switch id
     dest     u16  destination switch id
-    seq      u32  per-(src, dest) sequence number
-    payload  ...  encode_lsa() bytes
+    seq      u32  per-(src, dest) sequence number (HELLO: boot generation)
 
-ACK (type 2) -- acknowledges one DATA frame::
+Six frame types exist:
 
-    magic, version, type = 2
-    src      u16  the *acknowledging* switch (the DATA frame's dest)
-    dest     u16  the DATA frame's src
-    seq      u32  the acknowledged sequence number
+* DATA (1) -- one :mod:`repro.core.wire`-encoded LSA; the normal flooding
+  path.  Reliable (acked, deduplicated, retransmitted).
+* ACK (2) -- acknowledges one reliable frame; ``src`` is the
+  *acknowledging* switch, ``dest``/``seq`` name the acknowledged frame.
+  Acks are type-agnostic: DATA, DBD, SNAP, and LSU share one sequence
+  space per (src, dest) pair.
+* HELLO (3) -- keepalive between physical neighbors.  Unreliable by
+  design (never acked, never retransmitted: a lost hello *is* the
+  failure signal); the ``seq`` field carries the sender's boot
+  generation so a restarted neighbor is recognised immediately.
+* DBD (4) -- OSPF-style database description: the sender's LSA headers,
+  ``(origin, seqnum)`` pairs, opening a resync handshake.  Body: a
+  reply flag (a reply DBD never triggers another DBD, so the handshake
+  terminates), then the header list.
+* SNAP (5) -- one MC connection's arbitration state (:class:`McSnapshot`)
+  for resync: R / E / C vectors, proposer, member roles, and the
+  installed topology as canonical :func:`~repro.core.wire.encode_topology`
+  bytes.
+* LSU (6) -- link-state update: one full non-MC LSA transferred during
+  resync.  Distinct from DATA so the receiver applies resync semantics
+  (re-flood if news; recover the own-origin sequence number).
 
 All integers are big-endian.  Decoding raises
 :class:`FrameDecodeError` (a :class:`~repro.core.wire.WireDecodeError`)
@@ -28,18 +42,37 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, FrozenSet, Optional, Tuple, Union
 
 from repro.core.lsa import McLsa
-from repro.core.wire import WireDecodeError, decode_lsa, encode_lsa
+from repro.core.wire import (
+    WireDecodeError,
+    decode_lsa,
+    decode_topology,
+    encode_lsa,
+)
 from repro.lsr.lsa import NonMcLsa
+from repro.trees.algorithms import RECEIVER, SENDER
 
 FRAME_MAGIC = 0xD7
 FRAME_VERSION = 1
 DATA = 1
 ACK = 2
+HELLO = 3
+DBD = 4
+SNAP = 5
+LSU = 6
+
+#: Frame types carried by the reliable (ack/retransmit/dedup) machinery.
+RELIABLE_TYPES = frozenset((DATA, DBD, SNAP, LSU))
 
 _HEADER = struct.Struct("!BBBHHI")
+_DBD_HEAD = struct.Struct("!BH")
+_DBD_ENTRY = struct.Struct("!HI")
+_SNAP_HEAD = struct.Struct("!IHH")
+_SNAP_MEMBER = struct.Struct("!HB")
+
+_ROLE_BITS = ((SENDER, 0x01), (RECEIVER, 0x02))
 
 
 class FrameDecodeError(WireDecodeError):
@@ -65,19 +98,267 @@ class AckFrame:
     seq: int
 
 
-Frame = Union[DataFrame, AckFrame]
+@dataclass(frozen=True)
+class HelloFrame:
+    """A keepalive: ``src`` is alive in boot ``generation``."""
+
+    src: int
+    dest: int
+    generation: int
+
+
+@dataclass(frozen=True)
+class DbdFrame:
+    """A database description: ``src``'s LSA headers, sorted by origin.
+
+    ``reply`` marks the second leg of the handshake; a reply never
+    triggers another DBD, so the exchange always terminates.
+    """
+
+    src: int
+    dest: int
+    seq: int
+    reply: bool
+    headers: Tuple[Tuple[int, int], ...]  # (origin, seqnum)
+
+    def header_map(self) -> Dict[int, int]:
+        return dict(self.headers)
+
+
+@dataclass(frozen=True)
+class McSnapshot:
+    """One MC connection's arbitration state, as carried by a SNAP frame.
+
+    ``members`` maps switch id to its role set; ``topology`` is the
+    installed topology as canonical wire bytes (``None`` before the first
+    install).  Snapshots merge monotonically: membership is adopted
+    per origin switch ``o`` only when the membership stamp
+    ``member_stamp[o]`` (``o``'s own event index at its latest
+    join/leave) exceeds the local M[o] -- membership of ``o`` changes
+    only through events ``o`` itself originates, so M[o] totally orders
+    views of it even when link events have pushed R[o] further.
+    """
+
+    connection_id: int
+    received: Tuple[int, ...]
+    expected: Tuple[int, ...]
+    current: Tuple[int, ...]
+    proposer: int
+    member_stamp: Tuple[int, ...]
+    members: Tuple[Tuple[int, FrozenSet[str]], ...]
+    topology: Optional[bytes]
+
+    def member_map(self) -> Dict[int, FrozenSet[str]]:
+        return dict(self.members)
+
+
+@dataclass(frozen=True)
+class SnapFrame:
+    """A decoded SNAP frame carrying one :class:`McSnapshot`."""
+
+    src: int
+    dest: int
+    seq: int
+    snapshot: McSnapshot
+
+
+@dataclass(frozen=True)
+class LsuFrame:
+    """A decoded LSU frame: one non-MC LSA transferred during resync."""
+
+    src: int
+    dest: int
+    seq: int
+    lsa: NonMcLsa
+
+
+Frame = Union[DataFrame, AckFrame, HelloFrame, DbdFrame, SnapFrame, LsuFrame]
+
+
+def _pack_header(ftype: int, src: int, dest: int, seq: int) -> bytes:
+    return _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, ftype, src, dest, seq)
 
 
 def encode_data(src: int, dest: int, seq: int, lsa: Union[McLsa, NonMcLsa]) -> bytes:
     """Build the wire bytes of one DATA frame."""
-    return _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, DATA, src, dest, seq) + encode_lsa(
-        lsa
-    )
+    return _pack_header(DATA, src, dest, seq) + encode_lsa(lsa)
 
 
 def encode_ack(src: int, dest: int, seq: int) -> bytes:
     """Build the wire bytes of one ACK frame."""
-    return _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, ACK, src, dest, seq)
+    return _pack_header(ACK, src, dest, seq)
+
+
+def encode_hello(src: int, dest: int, generation: int) -> bytes:
+    """Build the wire bytes of one HELLO frame (generation rides in seq)."""
+    return _pack_header(HELLO, src, dest, generation)
+
+
+def encode_dbd(
+    src: int, dest: int, seq: int, headers: Dict[int, int], reply: bool = False
+) -> bytes:
+    """Build the wire bytes of one DBD frame from an ``{origin: seqnum}`` map."""
+    entries = sorted(headers.items())
+    parts = [
+        _pack_header(DBD, src, dest, seq),
+        _DBD_HEAD.pack(1 if reply else 0, len(entries)),
+    ]
+    for origin, seqnum in entries:
+        parts.append(_DBD_ENTRY.pack(origin, seqnum))
+    return b"".join(parts)
+
+
+def _role_bits(roles: FrozenSet[str]) -> int:
+    bits = 0
+    for role, bit in _ROLE_BITS:
+        if role in roles:
+            bits |= bit
+    return bits
+
+
+def _roles_from_bits(bits: int) -> FrozenSet[str]:
+    return frozenset(role for role, bit in _ROLE_BITS if bits & bit)
+
+
+def encode_snapshot(snapshot: McSnapshot) -> bytes:
+    """Serialize one :class:`McSnapshot` body (no frame header)."""
+    n = len(snapshot.received)
+    if not (
+        len(snapshot.expected)
+        == len(snapshot.current)
+        == len(snapshot.member_stamp)
+        == n
+    ):
+        raise ValueError("snapshot vectors must have equal lengths")
+    parts = [
+        _SNAP_HEAD.pack(snapshot.connection_id, snapshot.proposer, n),
+        struct.pack(f"!{n}I", *snapshot.received) if n else b"",
+        struct.pack(f"!{n}I", *snapshot.expected) if n else b"",
+        struct.pack(f"!{n}I", *snapshot.current) if n else b"",
+        struct.pack(f"!{n}I", *snapshot.member_stamp) if n else b"",
+        struct.pack("!H", len(snapshot.members)),
+    ]
+    for switch, roles in sorted(snapshot.members):
+        parts.append(_SNAP_MEMBER.pack(switch, _role_bits(roles)))
+    if snapshot.topology is None:
+        parts.append(b"\x00")
+    else:
+        parts.append(b"\x01")
+        parts.append(snapshot.topology)
+    return b"".join(parts)
+
+
+def encode_snap(src: int, dest: int, seq: int, snapshot: McSnapshot) -> bytes:
+    """Build the wire bytes of one SNAP frame."""
+    return _pack_header(SNAP, src, dest, seq) + encode_snapshot(snapshot)
+
+
+def encode_lsu(src: int, dest: int, seq: int, lsa: NonMcLsa) -> bytes:
+    """Build the wire bytes of one LSU frame (body = the encoded LSA)."""
+    if not isinstance(lsa, NonMcLsa):
+        raise TypeError("LSU frames carry non-MC LSAs only")
+    return _pack_header(LSU, src, dest, seq) + encode_lsa(lsa)
+
+
+class _BodyReader:
+    """Cursor over a frame body with checked struct reads."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, st: struct.Struct) -> tuple:
+        if self.offset + st.size > len(self.data):
+            raise FrameDecodeError("truncated frame body")
+        values = st.unpack_from(self.data, self.offset)
+        self.offset += st.size
+        return values
+
+    def take_fmt(self, fmt: str) -> tuple:
+        size = struct.calcsize(fmt)
+        if self.offset + size > len(self.data):
+            raise FrameDecodeError("truncated frame body")
+        values = struct.unpack_from(fmt, self.data, self.offset)
+        self.offset += size
+        return values
+
+    def rest(self) -> bytes:
+        out = self.data[self.offset:]
+        self.offset = len(self.data)
+        return out
+
+    def done(self) -> bool:
+        return self.offset == len(self.data)
+
+
+def _decode_dbd(src: int, dest: int, seq: int, body: bytes) -> DbdFrame:
+    reader = _BodyReader(body)
+    reply, count = reader.take(_DBD_HEAD)
+    if reply not in (0, 1):
+        raise FrameDecodeError(f"bad DBD reply flag {reply}")
+    headers = []
+    last_origin = -1
+    for _ in range(count):
+        origin, seqnum = reader.take(_DBD_ENTRY)
+        if origin <= last_origin:
+            raise FrameDecodeError("DBD headers not strictly sorted by origin")
+        last_origin = origin
+        headers.append((origin, seqnum))
+    if not reader.done():
+        raise FrameDecodeError("trailing bytes after DBD")
+    return DbdFrame(src, dest, seq, bool(reply), tuple(headers))
+
+
+def _decode_snap(src: int, dest: int, seq: int, body: bytes) -> SnapFrame:
+    reader = _BodyReader(body)
+    connection_id, proposer, n = reader.take(_SNAP_HEAD)
+    received = reader.take_fmt(f"!{n}I") if n else ()
+    expected = reader.take_fmt(f"!{n}I") if n else ()
+    current = reader.take_fmt(f"!{n}I") if n else ()
+    member_stamp = reader.take_fmt(f"!{n}I") if n else ()
+    (member_count,) = reader.take_fmt("!H")
+    members = []
+    last_switch = -1
+    for _ in range(member_count):
+        switch, bits = reader.take(_SNAP_MEMBER)
+        if switch <= last_switch:
+            raise FrameDecodeError("SNAP members not strictly sorted")
+        last_switch = switch
+        members.append((switch, _roles_from_bits(bits)))
+    (has_topology,) = reader.take_fmt("!B")
+    if has_topology not in (0, 1):
+        raise FrameDecodeError(f"bad SNAP topology flag {has_topology}")
+    topology: Optional[bytes] = None
+    if has_topology:
+        topology = reader.rest()
+        try:
+            decode_topology(topology)
+        except FrameDecodeError:
+            raise
+        except WireDecodeError as exc:
+            raise FrameDecodeError(f"bad SNAP topology: {exc}") from exc
+    elif not reader.done():
+        raise FrameDecodeError("trailing bytes after SNAP")
+    snapshot = McSnapshot(
+        connection_id=connection_id,
+        received=tuple(received),
+        expected=tuple(expected),
+        current=tuple(current),
+        proposer=proposer,
+        member_stamp=tuple(member_stamp),
+        members=tuple(members),
+        topology=topology,
+    )
+    return SnapFrame(src, dest, seq, snapshot)
+
+
+def _decode_lsa_body(body: bytes, context: str) -> Union[McLsa, NonMcLsa]:
+    try:
+        return decode_lsa(body)
+    except FrameDecodeError:
+        raise
+    except WireDecodeError as exc:
+        raise FrameDecodeError(f"bad {context} payload: {exc}") from exc
 
 
 def decode_frame(data: bytes) -> Frame:
@@ -95,13 +376,20 @@ def decode_frame(data: bytes) -> Frame:
             raise FrameDecodeError("trailing bytes after ACK")
         return AckFrame(src, dest, seq)
     if ftype == DATA:
-        try:
-            lsa = decode_lsa(body)
-        except FrameDecodeError:
-            raise
-        except WireDecodeError as exc:
-            raise FrameDecodeError(f"bad DATA payload: {exc}") from exc
-        return DataFrame(src, dest, seq, lsa)
+        return DataFrame(src, dest, seq, _decode_lsa_body(body, "DATA"))
+    if ftype == HELLO:
+        if body:
+            raise FrameDecodeError("trailing bytes after HELLO")
+        return HelloFrame(src, dest, seq)
+    if ftype == DBD:
+        return _decode_dbd(src, dest, seq, body)
+    if ftype == SNAP:
+        return _decode_snap(src, dest, seq, body)
+    if ftype == LSU:
+        lsa = _decode_lsa_body(body, "LSU")
+        if not isinstance(lsa, NonMcLsa):
+            raise FrameDecodeError("LSU frames carry non-MC LSAs only")
+        return LsuFrame(src, dest, seq, lsa)
     raise FrameDecodeError(f"unknown frame type {ftype}")
 
 

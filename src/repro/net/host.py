@@ -28,6 +28,7 @@ from repro.core.state import McState
 from repro.core.switch import DgmcSwitch
 from repro.lsr.lsa import NonMcLsa, RouterLsa
 from repro.lsr.router import UnicastRouter
+from repro.net.resync import ResyncManager
 from repro.net.transport import Transport
 from repro.sim.kernel import Simulator
 from repro.topo.graph import Network
@@ -76,6 +77,10 @@ class LiveSwitch:
         time_scale: float = 0.0,
         on_computation: Optional[Callable[[int, int], None]] = None,
         on_install: Optional[Callable[[int, int, tuple, int], None]] = None,
+        generation: int = 1,
+        hello_interval: float = 0.0,
+        dead_interval: float = 0.0,
+        cold_boot: bool = False,
     ) -> None:
         self.switch_id = switch_id
         #: Host-local copy of the physical network (its own address space);
@@ -100,8 +105,25 @@ class LiveSwitch:
             on_install=on_install,
         )
         self.config = config
+        #: Hello cadence (0 disables failure detection entirely).
+        self.hello_interval = hello_interval
+        #: Silence span after which a neighbor is declared dead.  The
+        #: default of 8 hello intervals makes a false positive need 8
+        #: consecutive injected losses (1e-8 at 10% loss) while staying
+        #: well under a chaos schedule's settling windows.
+        self.dead_interval = (
+            dead_interval if dead_interval > 0 else 8.0 * hello_interval
+        )
+        self.resync = ResyncManager(
+            self,
+            transport,
+            metrics=getattr(transport, "metrics", None),
+            generation=generation,
+            cold_boot=cold_boot,
+        )
         self._wake = asyncio.Event()
         self._task: Optional[asyncio.Task] = None
+        self._hello_task: Optional[asyncio.Task] = None
         self._pumping = False
         self._stopped = False
         #: Payloads accepted from the transport (diagnostic).
@@ -133,7 +155,27 @@ class LiveSwitch:
             )
             self.router.lsdb.install(RouterLsa(y, 1, links))
 
+    def boot_cold(self) -> None:
+        """Boot after a crash: own LSA only, everything else via resync.
+
+        The counterpart of :meth:`seed_converged_lsdb` for recovery: the
+        LSDB starts with just this switch's (generation-1) router LSA and
+        is completed by the neighbor database exchange -- including the
+        OSPF self-originated-sequence jump when a peer still holds this
+        switch's pre-crash LSA (see :mod:`repro.net.resync`).
+        """
+        self.router.originate(flood=False)
+
     # -- transport-facing ingestion -------------------------------------------
+
+    def handle_control(self, dest: int, frame: Any) -> None:
+        """Transport control handler (HELLO / DBD / SNAP / LSU frames)."""
+        if dest != self.switch_id:  # pragma: no cover - transport bug guard
+            raise ValueError(f"host {self.switch_id} got a control frame for {dest}")
+        self.resync.handle(frame, asyncio.get_running_loop().time())
+        # Resync handlers may spawn local protocol work (link events,
+        # triggered re-proposals); make sure the pump notices it.
+        self._wake.set()
 
     def ingest(self, dest: int, payload: Any) -> None:
         """Transport delivery handler (:data:`~repro.net.transport.DeliverFn`)."""
@@ -189,11 +231,21 @@ class LiveSwitch:
         return affected
 
     def _affected_connections(self, u: int, v: int, up: bool) -> List[int]:
-        """Mirror of the simulator's affected-connection rule."""
+        """Mirror of the simulator's affected-connection rule.
+
+        On recovery, degraded installed topologies (not spanning the
+        member set -- computed while members were unreachable) are
+        re-proposed; see ``DgmcNetwork._affected_connections``.
+        """
         if up:
             if getattr(self.config, "reoptimize_on_link_up", False):
                 return sorted(self.switch.states)
-            return []
+            return sorted(
+                connection_id
+                for connection_id, state in self.switch.states.items()
+                if state.installed is not None
+                and not state.installed.spans(state.member_set)
+            )
         edge = tuple(sorted((u, v)))
         return sorted(
             connection_id
@@ -209,14 +261,34 @@ class LiveSwitch:
         self._task = asyncio.create_task(
             self._pump_loop(), name=f"live-switch-{self.switch_id}"
         )
+        if self.hello_interval > 0:
+            self._hello_task = asyncio.create_task(
+                self._hello_loop(), name=f"hello-{self.switch_id}"
+            )
 
     async def stop(self) -> None:
         """Graceful shutdown: stop pumping and wait for the task to exit."""
         self._stopped = True
         self._wake.set()
+        if self._hello_task is not None:
+            self._hello_task.cancel()
+            try:
+                await self._hello_task
+            except asyncio.CancelledError:
+                pass
+            self._hello_task = None
         if self._task is not None:
             await self._task
             self._task = None
+
+    async def _hello_loop(self) -> None:
+        """Fire hellos and run the dead-neighbor check on a fixed cadence."""
+        loop = asyncio.get_running_loop()
+        self.resync.mark_boot(loop.time())
+        while not self._stopped:
+            self.resync.send_hellos()
+            self.resync.check_dead(loop.time())
+            await asyncio.sleep(self.hello_interval)
 
     async def _pump_loop(self) -> None:
         while True:

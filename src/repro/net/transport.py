@@ -12,7 +12,17 @@ it at the destination.  Two implementations exist:
   socket on loopback; payloads travel as :mod:`repro.net.frames` DATA
   datagrams carrying :mod:`repro.core.wire` bytes, with per-frame
   ack/retransmit, exponential backoff, receive-side deduplication, and
-  seeded loss/reorder/delay injection (:mod:`repro.net.faults`).
+  seeded loss/reorder/delay/duplication injection (:mod:`repro.net.faults`).
+
+Beyond the LSA path, the UDP transport carries the crash-recovery control
+plane: unreliable HELLO keepalives (:meth:`UdpTransport.send_hello`) and
+reliable DBD / SNAP / LSU resync frames, dispatched to a per-switch
+*control handler* (:meth:`UdpTransport.register_control`).  It also
+models infrastructure failures: :meth:`set_host_down` blackholes a
+crashed switch, and severed pairs from the fault injector's cut set
+(:meth:`~repro.net.faults.FaultInjector.cut`) drop frames
+deterministically -- senders retransmit into the cut until the attempt
+budget abandons the frame, exactly as on a partitioned link.
 
 Handlers have the :data:`DeliverFn` signature ``(dest_switch, payload)``,
 matching the flooding fabric's existing hooks, so the same protocol
@@ -32,6 +42,10 @@ from repro.obs.metrics import MetricsRegistry
 
 #: Delivery hook signature: (destination switch id, decoded payload).
 DeliverFn = Callable[[int, Any], None]
+
+#: Control hook signature: (destination switch id, decoded control frame).
+#: Receives HelloFrame / DbdFrame / SnapFrame / LsuFrame instances.
+ControlFn = Callable[[int, Any], None]
 
 
 def _frames():
@@ -122,7 +136,7 @@ class KernelTransport(Transport):
 
 @dataclass
 class _Pending:
-    """One unacknowledged DATA frame awaiting ack or retransmission."""
+    """One unacknowledged reliable frame awaiting ack or retransmission."""
 
     frame: bytes
     attempts: int = 0
@@ -167,11 +181,18 @@ class UdpTransport(Transport):
     """Real datagrams: one UDP socket per switch on loopback.
 
     Reliability is per-frame stop-and-wait with cumulative-free acks:
-    every DATA frame is retransmitted on an exponential-backoff timer
-    until its ACK arrives (or the attempt budget runs out), and receivers
-    acknowledge every copy but deliver only the first -- duplicates and
-    reordering from the fault injector (or the OS) never reach the
-    protocol twice.
+    every reliable frame (DATA / DBD / SNAP / LSU) is retransmitted on an
+    exponential-backoff timer until its ACK arrives (or the attempt
+    budget runs out), and receivers acknowledge every copy but deliver
+    only the first -- duplicates and reordering from the fault injector
+    (or the OS) never reach the protocol twice.  HELLO keepalives are
+    deliberately unreliable: a lost hello is the failure signal itself.
+
+    The per-``(src, dest)`` sequence space belongs to the *transport*,
+    not to the hosts riding on it, and therefore survives a host restart
+    (like TCP's kernel-owned port state): a restarted switch keeps
+    counting where its predecessor stopped, so peers' dedup windows need
+    no reset handshake.
 
     Known limits (see docs/live-runtime.md): the dedupe window grows with
     the per-peer frame count, and frames are independent (no pipelining
@@ -192,22 +213,27 @@ class UdpTransport(Transport):
         self.injector = FaultInjector(faults or FaultPlan())
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._handlers: Dict[int, DeliverFn] = {}
+        self._control: Dict[int, ControlFn] = {}
         self._endpoints: Dict[int, asyncio.DatagramTransport] = {}
         self._addrs: Dict[int, Tuple[str, int]] = {}
         self._seq: Dict[Tuple[int, int], int] = {}
         self._pending: Dict[Tuple[int, int, int], _Pending] = {}
         #: dest -> (src, seq) pairs already delivered to the handler.
         self._seen: Dict[int, Set[Tuple[int, int]]] = {}
+        #: Crashed switches: frames from or to them are blackholed.
+        self._down: Set[int] = set()
         self._delayed_frames = 0
         self._started = False
         self._closed = False
         self._socket_errors = 0
         reg = self.metrics
         self._c_data_sent = reg.counter(
-            "live_datagrams_sent_total", "DATA transmission attempts put on the wire"
+            "live_datagrams_sent_total",
+            "reliable-frame transmission attempts put on the wire",
         )
         self._c_data_recv = reg.counter(
-            "live_datagrams_received_total", "DATA frames received from the socket"
+            "live_datagrams_received_total",
+            "reliable frames received from the socket",
         )
         self._c_acks_sent = reg.counter(
             "live_acks_sent_total", "ACK frames put on the wire"
@@ -216,7 +242,7 @@ class UdpTransport(Transport):
             "live_acks_received_total", "ACK frames received from the socket"
         )
         self._c_retransmits = reg.counter(
-            "live_retransmits_total", "DATA frames retransmitted after an RTO"
+            "live_retransmits_total", "reliable frames retransmitted after an RTO"
         )
         self._c_drops = reg.counter(
             "live_drops_injected_total", "transmission attempts dropped by fault injection"
@@ -224,14 +250,30 @@ class UdpTransport(Transport):
         self._c_reorders = reg.counter(
             "live_reorders_injected_total", "frames held back by reorder injection"
         )
+        self._c_dupes_injected = reg.counter(
+            "live_duplicates_injected_total",
+            "wire duplicates created by duplicate-rate injection",
+        )
         self._c_dupes = reg.counter(
-            "live_duplicates_dropped_total", "duplicate DATA frames suppressed at receive"
+            "live_duplicates_dropped_total", "duplicate reliable frames suppressed at receive"
         )
         self._c_decode_errors = reg.counter(
             "live_decode_errors_total", "undecodable datagrams discarded"
         )
         self._c_failures = reg.counter(
             "live_delivery_failures_total", "frames abandoned after the attempt budget"
+        )
+        self._c_hellos_sent = reg.counter(
+            "live_hellos_sent_total", "HELLO keepalives put on the wire"
+        )
+        self._c_hellos_recv = reg.counter(
+            "live_hellos_received_total", "HELLO keepalives received from the socket"
+        )
+        self._c_cut_drops = reg.counter(
+            "live_cut_drops_total", "frames dropped on a severed (cut) switch pair"
+        )
+        self._c_blackholed = reg.counter(
+            "live_blackholed_total", "frames dropped to or from a crashed switch"
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -273,6 +315,21 @@ class UdpTransport(Transport):
             raise ValueError(f"switch {switch_id} already registered")
         self._handlers[switch_id] = handler
 
+    def register_control(self, switch_id: int, handler: ControlFn) -> None:
+        """Install the control-frame handler (HELLO / DBD / SNAP / LSU)."""
+        if switch_id in self._control:
+            raise ValueError(f"switch {switch_id} already has a control handler")
+        self._control[switch_id] = handler
+
+    def unregister(self, switch_id: int) -> None:
+        """Remove a switch's handlers (host crash/teardown; idempotent).
+
+        The socket stays bound -- a restarted incarnation re-registers on
+        the same endpoint, so peers keep a stable address per switch id.
+        """
+        self._handlers.pop(switch_id, None)
+        self._control.pop(switch_id, None)
+
     def has_handler(self, switch_id: int) -> bool:
         return switch_id in self._handlers
 
@@ -287,15 +344,91 @@ class UdpTransport(Transport):
 
     @property
     def in_flight(self) -> int:
-        """Unacknowledged DATA frames currently tracked."""
+        """Unacknowledged reliable frames currently tracked."""
         return len(self._pending)
 
+    def pending_keys(self) -> List[Tuple[int, int, int]]:
+        """The (src, dest, seq) keys currently awaiting acks (diagnostic)."""
+        return sorted(self._pending)
+
+    # -- crash modelling ---------------------------------------------------------
+
+    def set_host_down(self, switch_id: int) -> None:
+        """Blackhole a crashed switch: frames from or to it are dropped.
+
+        Reliable frames already in flight toward (or from) the switch are
+        abandoned immediately and counted as delivery failures -- their
+        senders would otherwise just burn their whole attempt budget into
+        the blackhole, wedging the quiescence barrier for no information.
+        """
+        self._down.add(switch_id)
+        for key in [
+            k for k in self._pending if k[0] == switch_id or k[1] == switch_id
+        ]:
+            pending = self._pending.pop(key)
+            if pending.timer is not None:
+                pending.timer.cancel()
+            self._c_failures.inc()
+
+    def set_host_up(self, switch_id: int) -> None:
+        """Lift the blackhole after a restart (idempotent).
+
+        Sequence counters and peers' dedup windows are intentionally
+        *not* reset: the sequence space is transport-owned and outlives
+        host incarnations (see the class docstring).
+        """
+        self._down.discard(switch_id)
+
+    def is_host_down(self, switch_id: int) -> bool:
+        return switch_id in self._down
+
+    # -- send paths ---------------------------------------------------------------
+
     def send(self, src: int, dest: int, payload: Any, delay: float = 0.0) -> None:
-        """Queue one reliable datagram from ``src`` to ``dest``.
+        """Queue one reliable DATA datagram from ``src`` to ``dest``.
 
         Must be called from within the running event loop (protocol code
         executes inside host pump tasks, so this holds by construction).
         """
+        frames = _frames()
+        self._queue_reliable(
+            src, dest, lambda seq: frames.encode_data(src, dest, seq, payload)
+        )
+
+    def send_dbd(
+        self, src: int, dest: int, headers: Dict[int, int], reply: bool = False
+    ) -> None:
+        """Queue one reliable DBD frame (LSA-header summary)."""
+        frames = _frames()
+        self._queue_reliable(
+            src, dest,
+            lambda seq: frames.encode_dbd(src, dest, seq, headers, reply=reply),
+        )
+
+    def send_snap(self, src: int, dest: int, snapshot) -> None:
+        """Queue one reliable SNAP frame (MC arbitration snapshot)."""
+        frames = _frames()
+        self._queue_reliable(
+            src, dest, lambda seq: frames.encode_snap(src, dest, seq, snapshot)
+        )
+
+    def send_lsu(self, src: int, dest: int, lsa) -> None:
+        """Queue one reliable LSU frame (resync LSA transfer)."""
+        frames = _frames()
+        self._queue_reliable(
+            src, dest, lambda seq: frames.encode_lsu(src, dest, seq, lsa)
+        )
+
+    def send_hello(self, src: int, dest: int, generation: int) -> None:
+        """Fire one unreliable HELLO keepalive (never acked or retried)."""
+        if not self._started or self._closed or dest not in self._addrs:
+            return
+        frame = _frames().encode_hello(src, dest, generation)
+        self._dispatch_frame(src, dest, frame, kind="hello")
+
+    def _queue_reliable(
+        self, src: int, dest: int, build: Callable[[int], bytes]
+    ) -> None:
         if not self._started:
             raise RuntimeError("transport not started")
         if self._closed or dest not in self._addrs:
@@ -303,11 +436,8 @@ class UdpTransport(Transport):
         key = (src, dest)
         seq = self._seq.get(key, 0) + 1
         self._seq[key] = seq
-        frame = _frames().encode_data(src, dest, seq, payload)
-        self._pending[(src, dest, seq)] = _Pending(frame=frame)
+        self._pending[(src, dest, seq)] = _Pending(frame=build(seq))
         self._transmit((src, dest, seq))
-
-    # -- send path ---------------------------------------------------------------
 
     def _transmit(self, key: Tuple[int, int, int]) -> None:
         """One transmission attempt (first send and every retransmit)."""
@@ -334,10 +464,21 @@ class UdpTransport(Transport):
         pending.timer = asyncio.get_running_loop().call_later(
             rto, self._transmit, key
         )
-        self._dispatch_frame(src, dest, pending.frame, is_ack=False)
+        self._dispatch_frame(src, dest, pending.frame, kind="data")
 
-    def _dispatch_frame(self, src: int, dest: int, frame: bytes, is_ack: bool) -> None:
-        """Roll the fault dice, then put the frame on the wire (maybe later)."""
+    def _dispatch_frame(self, src: int, dest: int, frame: bytes, kind: str) -> None:
+        """Apply crash/cut filters and the fault dice, then hit the wire.
+
+        The down-host and cut checks are deterministic (no RNG draw), so
+        crashing hosts or cutting links mid-run never shifts the seeded
+        loss/reorder sequence of the surviving traffic.
+        """
+        if src in self._down or dest in self._down:
+            self._c_blackholed.inc()
+            return
+        if self.injector.is_cut(src, dest):
+            self._c_cut_drops.inc()
+            return
         reordered_before = self.injector.reordered
         if self.injector.should_drop():
             self._c_drops.inc()
@@ -345,16 +486,21 @@ class UdpTransport(Transport):
         delay = self.injector.send_delay()
         if self.injector.reordered > reordered_before:
             self._c_reorders.inc()
-        if delay > 0:
-            self._delayed_frames += 1
-            asyncio.get_running_loop().call_later(
-                delay, self._wire_send, src, dest, frame, is_ack, True
-            )
-        else:
-            self._wire_send(src, dest, frame, is_ack, False)
+        copies = 1
+        if self.injector.should_duplicate():
+            self._c_dupes_injected.inc()
+            copies = 2
+        for _ in range(copies):
+            if delay > 0:
+                self._delayed_frames += 1
+                asyncio.get_running_loop().call_later(
+                    delay, self._wire_send, src, dest, frame, kind, True
+                )
+            else:
+                self._wire_send(src, dest, frame, kind, False)
 
     def _wire_send(
-        self, src: int, dest: int, frame: bytes, is_ack: bool, was_delayed: bool
+        self, src: int, dest: int, frame: bytes, kind: str, was_delayed: bool
     ) -> None:
         if was_delayed:
             self._delayed_frames -= 1
@@ -367,13 +513,15 @@ class UdpTransport(Transport):
         if tracer.enabled:
             with tracer.span(
                 "udp_send", cat="net", tid=src, dest=dest,
-                bytes=len(frame), ack=is_ack,
+                bytes=len(frame), kind=kind,
             ):
                 endpoint.sendto(frame, self._addrs[dest])
         else:
             endpoint.sendto(frame, self._addrs[dest])
-        if is_ack:
+        if kind == "ack":
             self._c_acks_sent.inc()
+        elif kind == "hello":
+            self._c_hellos_sent.inc()
         else:
             self._c_data_sent.inc()
 
@@ -386,17 +534,26 @@ class UdpTransport(Transport):
             self._c_decode_errors.inc()
             return
         if isinstance(frame, frames.AckFrame):
-            # ``frame.src`` acknowledges; ``frame.dest`` is the original sender.
+            # ``frame.src`` acknowledges; ``frame.dest`` is the original
+            # sender.  Acks are type-agnostic (shared sequence space).
             self._c_acks_recv.inc()
             pending = self._pending.pop((frame.dest, frame.src, frame.seq), None)
             if pending is not None and pending.timer is not None:
                 pending.timer.cancel()
             return
+        if isinstance(frame, frames.HelloFrame):
+            # Unreliable by design: no ack, no dedup.  Hellos are
+            # idempotent liveness samples.
+            self._c_hellos_recv.inc()
+            handler = self._control.get(receiver)
+            if handler is not None:
+                handler(receiver, frame)
+            return
         self._c_data_recv.inc()
         # Always re-ack (the previous ack may have been lost) ...
         self._dispatch_frame(
             receiver, frame.src,
-            frames.encode_ack(receiver, frame.src, frame.seq), is_ack=True,
+            frames.encode_ack(receiver, frame.src, frame.seq), kind="ack",
         )
         # ... but deliver each frame to the protocol exactly once.
         seen = self._seen.setdefault(receiver, set())
@@ -405,24 +562,34 @@ class UdpTransport(Transport):
             self._c_dupes.inc()
             return
         seen.add(token)
-        handler = self._handlers.get(receiver)
-        if handler is None:
-            return
-        tracer = obs_tracer.TRACER
-        if tracer.enabled:
-            with tracer.span(
-                "udp_recv", cat="net", tid=receiver, src=frame.src, seq=frame.seq
-            ):
+        if isinstance(frame, frames.DataFrame):
+            handler = self._handlers.get(receiver)
+            if handler is None:
+                return
+            tracer = obs_tracer.TRACER
+            if tracer.enabled:
+                with tracer.span(
+                    "udp_recv", cat="net", tid=receiver, src=frame.src, seq=frame.seq
+                ):
+                    handler(receiver, frame.lsa)
+            else:
                 handler(receiver, frame.lsa)
-        else:
-            handler(receiver, frame.lsa)
+            return
+        # DBD / SNAP / LSU: the resync control plane.
+        control = self._control.get(receiver)
+        if control is not None:
+            control(receiver, frame)
 
     def counters(self) -> Dict[str, float]:
-        """Snapshot of the transport's counters (name -> value)."""
+        """Snapshot of the runtime's counters (name -> value).
+
+        Includes the resync/hello control-plane counters, which register
+        on this transport's shared metrics registry.
+        """
         return {
             name: value
             for name, value in self.metrics.snapshot().items()
-            if name.startswith("live_")
+            if name.startswith(("live_", "resync_", "hello_"))
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

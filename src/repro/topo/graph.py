@@ -243,6 +243,53 @@ class Network:
         """True when every switch is reachable over up links."""
         return len(self.hop_distances(0)) == self.n
 
+    def bridges(self) -> list[Tuple[int, int]]:
+        """All bridge edges over up links, as sorted canonical keys.
+
+        A bridge is an up link whose removal disconnects its component.
+        One Tarjan lowpoint pass over the up-link graph (iterative DFS, so
+        deep topologies cannot hit the recursion limit): O(V + E) total,
+        versus probing connectivity once per link.
+        """
+        disc: Dict[int, int] = {}
+        low: Dict[int, int] = {}
+        out: list[Tuple[int, int]] = []
+        counter = 0
+        for root in self.switches():
+            if root in disc:
+                continue
+            # Stack frames: (node, parent, iterator over up-neighbors).
+            disc[root] = low[root] = counter
+            counter += 1
+            stack = [(root, -1, iter(self.neighbors(root)))]
+            # One parent edge may be retraversed per node (parallel links
+            # are rejected at add_link, so a single skip is exact).
+            skipped_parent = {root: False}
+            while stack:
+                node, parent, it = stack[-1]
+                advanced = False
+                for nbr in it:
+                    if nbr == parent and not skipped_parent[node]:
+                        skipped_parent[node] = True
+                        continue
+                    if nbr in disc:
+                        low[node] = min(low[node], disc[nbr])
+                        continue
+                    disc[nbr] = low[nbr] = counter
+                    counter += 1
+                    skipped_parent[nbr] = False
+                    stack.append((nbr, node, iter(self.neighbors(nbr))))
+                    advanced = True
+                    break
+                if advanced:
+                    continue
+                stack.pop()
+                if parent >= 0:
+                    low[parent] = min(low[parent], low[node])
+                    if low[node] > disc[parent]:
+                        out.append(_edge_key(parent, node))
+        return sorted(out)
+
     def diameter_hops(self) -> int:
         """Largest hop distance between any pair of switches (up links)."""
         worst = 0

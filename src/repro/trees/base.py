@@ -175,6 +175,19 @@ class McTopology:
             edges |= tree.edges
         return frozenset(edges)
 
+    def spans(self, members: Iterable[int]) -> bool:
+        """True when every constituent tree spans ``members``.
+
+        A topology that fails this is *degraded*: it was computed while
+        part of the membership was unreachable (partition, crashed
+        switch) and serves only the dominant component.  An empty
+        topology spans only an empty-or-singleton membership.
+        """
+        member_set = frozenset(members)
+        if not self.trees:
+            return len(member_set) <= 1
+        return all(tree.spans(member_set) for _, tree in self.trees)
+
     def total_cost(self, weights: Mapping[Edge, float]) -> float:
         return sum(tree.cost(weights) for _, tree in self.trees)
 

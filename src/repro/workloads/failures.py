@@ -48,17 +48,22 @@ class FailureInjector:
     # -- selection ----------------------------------------------------------
 
     def _safe_candidates(self) -> List[Tuple[int, int]]:
-        """Up links whose loss is acceptable under the partition policy."""
-        candidates = []
-        for link in self.dgmc.net.links():
-            if self.allow_partition:
-                candidates.append(link.key)
-                continue
-            probe = self.dgmc.net.copy()
-            probe.set_link_state(*link.key, up=False)
-            if probe.is_connected():
-                candidates.append(link.key)
-        return candidates
+        """Up links whose loss is acceptable under the partition policy.
+
+        Without ``allow_partition`` the safe links are exactly the up links
+        that are not bridges -- computed in one O(V + E) lowpoint pass
+        (:meth:`~repro.topo.graph.Network.bridges`) instead of deep-copying
+        the network once per link.  An already-disconnected network has no
+        safe candidates (every removal probe used to fail), matching the
+        old probing behaviour exactly.
+        """
+        up_links = [link.key for link in self.dgmc.net.links()]
+        if self.allow_partition:
+            return up_links
+        if not self.dgmc.net.is_connected():
+            return []
+        bridges = set(self.dgmc.net.bridges())
+        return [key for key in up_links if key not in bridges]
 
     # -- scheduling -----------------------------------------------------------
 

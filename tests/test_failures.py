@@ -8,8 +8,19 @@ import pytest
 
 from repro.core import DgmcNetwork, JoinEvent, ProtocolConfig
 from repro.dataplane import ForwardingEngine, McPacket
-from repro.topo.generators import waxman_network
+from repro.topo.generators import grid_network, waxman_network
 from repro.workloads.failures import FailureInjector
+
+
+def brute_force_safe_candidates(net):
+    """The old O(E * (V + E)) selection: probe each removal on a copy."""
+    safe = []
+    for link in net.links():
+        probe = net.copy()
+        probe.set_link_state(*link.key, up=False)
+        if probe.is_connected():
+            safe.append(link.key)
+    return safe
 
 
 def deployment(rng, n=25, reoptimize=True):
@@ -67,6 +78,116 @@ class TestInjector:
             return [(r.edge, r.failed_at, r.repaired_at) for r in injector.records]
 
         assert run_once() == run_once()
+
+
+class TestSafeCandidates:
+    """The bridge-based selection must match the old per-link probing."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force_probing(self, seed):
+        rng = random.Random(seed)
+        dgmc, _ = deployment(rng, n=20)
+        injector = FailureInjector(dgmc, rng)
+        assert sorted(injector._safe_candidates()) == sorted(
+            brute_force_safe_candidates(dgmc.net)
+        )
+
+    def test_matches_brute_force_after_failures(self, rng):
+        """Mid-campaign (some links already down) the sets still agree."""
+        dgmc, _ = deployment(rng, n=20)
+        injector = FailureInjector(dgmc, rng)
+        injector.schedule_campaign(start=200.0, count=5, mean_gap=60.0)
+        dgmc.run()
+        assert sorted(injector._safe_candidates()) == sorted(
+            brute_force_safe_candidates(dgmc.net)
+        )
+
+    def test_every_link_is_a_bridge_on_a_line(self, rng):
+        net = grid_network(1, 5)
+        dgmc = DgmcNetwork(net, ProtocolConfig())
+        injector = FailureInjector(dgmc, rng)
+        assert injector._safe_candidates() == []
+        assert brute_force_safe_candidates(net) == []
+
+    def test_disconnected_network_has_no_candidates(self, rng):
+        """Matches the old probing: is_connected() fails for every probe."""
+        net = grid_network(1, 5)
+        net.set_link_state(1, 2, up=False)
+        dgmc = DgmcNetwork(net, ProtocolConfig())
+        injector = FailureInjector(dgmc, rng)
+        assert injector._safe_candidates() == []
+
+    def test_allow_partition_returns_all_up_links(self, rng):
+        net = grid_network(1, 5)
+        dgmc = DgmcNetwork(net, ProtocolConfig())
+        injector = FailureInjector(dgmc, rng, allow_partition=True)
+        up = sorted(link.key for link in net.links())
+        assert sorted(injector._safe_candidates()) == up
+
+
+class TestAllowPartition:
+    """Degradation path: failures may disconnect the network."""
+
+    def line_deployment(self, rng):
+        # 0-1-2-3-4-5 line: every link is a bridge, so only
+        # allow_partition=True can ever fire a failure here.
+        net = grid_network(1, 6)
+        dgmc = DgmcNetwork(
+            net, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05)
+        )
+        dgmc.register_symmetric(1)
+        for i, sw in enumerate((0, 2, 5)):
+            dgmc.inject(JoinEvent(sw, 1), at=10.0 * (i + 1))
+        dgmc.run()
+        return dgmc
+
+    def test_default_injector_never_fires_on_a_line(self, rng):
+        dgmc = self.line_deployment(rng)
+        injector = FailureInjector(dgmc, rng)
+        injector.schedule_campaign(start=100.0, count=5, mean_gap=50.0)
+        dgmc.run()
+        assert injector.failures_injected == 0
+        assert dgmc.net.is_connected()
+
+    def test_partitioning_failure_degrades_gracefully(self, rng):
+        """A bridge failure partitions the net; each side keeps serving."""
+        dgmc = self.line_deployment(rng)
+        injector = FailureInjector(dgmc, rng, allow_partition=True)
+        injector.schedule_cycle(fail_at=100.0, repair_after=None)
+        dgmc.run()  # must not raise
+        assert injector.failures_injected == 1
+        assert not dgmc.net.is_connected()
+        # The detector's side recomputed: its trees live entirely on up
+        # links (unreachable members pruned instead of wedging).  The far
+        # side never hears the new proposal -- the flood cannot cross the
+        # cut -- so it retains the pre-failure tree: graceful staleness,
+        # not a crash.
+        detector = injector.records[0].edge[0]
+        near_side = set(dgmc.net.hop_distances(detector))
+        up_edges = {link.key for link in dgmc.net.links()}
+        saw_stale = False
+        for switch, state in dgmc.states_for(1).items():
+            if state.installed is None:
+                continue
+            for _, tree in state.installed.trees:
+                assert tree.is_tree()
+                if switch in near_side:
+                    assert tree.edges <= up_edges
+                else:
+                    saw_stale = saw_stale or not (tree.edges <= up_edges)
+        assert saw_stale
+
+    def test_repair_after_partition_restores_agreement(self, rng):
+        dgmc = self.line_deployment(rng)
+        injector = FailureInjector(dgmc, rng, allow_partition=True)
+        injector.schedule_cycle(fail_at=100.0, repair_after=40.0)
+        dgmc.run()
+        assert injector.repairs_completed == 1
+        assert dgmc.net.is_connected()
+        ok, detail = dgmc.agreement(1)
+        assert ok, detail
+        tree = dgmc.states_for(1)[0].installed.shared_tree
+        tree.validate({0, 2, 5})
 
 
 class TestFaultTolerance:

@@ -9,16 +9,31 @@ from repro.core.lsa import McEvent, McLsa
 from repro.core.mc import Role
 from repro.core.wire import WireDecodeError
 from repro.lsr.lsa import NonMcLsa, RouterLsa
+from repro.core.wire import encode_topology
 from repro.net.frames import (
     ACK,
     DATA,
+    DBD,
     FRAME_MAGIC,
+    HELLO,
+    LSU,
+    RELIABLE_TYPES,
+    SNAP,
     AckFrame,
     DataFrame,
+    DbdFrame,
     FrameDecodeError,
+    HelloFrame,
+    LsuFrame,
+    McSnapshot,
+    SnapFrame,
     decode_frame,
     encode_ack,
     encode_data,
+    encode_dbd,
+    encode_hello,
+    encode_lsu,
+    encode_snap,
     try_decode_frame,
 )
 from repro.trees.base import McTopology, MulticastTree
@@ -55,6 +70,100 @@ class TestRoundTrip:
     @settings(max_examples=50, deadline=None)
     def test_ack_roundtrip_ranges(self, src, dest, seq):
         assert decode_frame(encode_ack(src, dest, seq)) == AckFrame(src, dest, seq)
+
+
+def sample_snapshot(with_topology: bool = True) -> McSnapshot:
+    topo = McTopology.shared(MulticastTree.build([(0, 1), (1, 2)], [0, 2]))
+    return McSnapshot(
+        connection_id=7,
+        received=(1, 0, 2, 1),
+        expected=(1, 0, 2, 1),
+        current=(1, 0, 1, 1),
+        proposer=2,
+        member_stamp=(1, 0, 2, 1),
+        members=((0, frozenset({"sender", "receiver"})), (2, frozenset({"receiver"}))),
+        topology=encode_topology(topo) if with_topology else None,
+    )
+
+
+class TestControlRoundTrip:
+    def test_hello(self):
+        assert decode_frame(encode_hello(4, 9, 3)) == HelloFrame(4, 9, 3)
+
+    def test_dbd_request(self):
+        frame = decode_frame(encode_dbd(1, 2, 5, {0: 3, 4: 17}))
+        assert frame == DbdFrame(1, 2, 5, False, ((0, 3), (4, 17)))
+        assert frame.header_map() == {0: 3, 4: 17}
+
+    def test_dbd_reply_flag(self):
+        frame = decode_frame(encode_dbd(1, 2, 5, {}, reply=True))
+        assert frame == DbdFrame(1, 2, 5, True, ())
+
+    def test_snap(self):
+        snap = sample_snapshot()
+        frame = decode_frame(encode_snap(3, 8, 11, snap))
+        assert frame == SnapFrame(3, 8, 11, snap)
+
+    def test_snap_without_topology(self):
+        snap = sample_snapshot(with_topology=False)
+        assert decode_frame(encode_snap(3, 8, 11, snap)) == SnapFrame(3, 8, 11, snap)
+
+    def test_lsu(self):
+        lsa = sample_router_lsa()
+        assert decode_frame(encode_lsu(2, 0, 9, lsa)) == LsuFrame(2, 0, 9, lsa)
+
+    def test_lsu_rejects_mc_lsa(self):
+        with pytest.raises(TypeError):
+            encode_lsu(2, 0, 9, sample_mc_lsa())
+
+    def test_reliable_types(self):
+        assert RELIABLE_TYPES == frozenset((DATA, DBD, SNAP, LSU))
+        assert HELLO not in RELIABLE_TYPES
+        assert ACK not in RELIABLE_TYPES
+
+
+class TestControlRobustness:
+    def test_hello_with_trailing_bytes(self):
+        with pytest.raises(FrameDecodeError, match="HELLO"):
+            decode_frame(encode_hello(1, 2, 3) + b"\x00")
+
+    def test_dbd_unsorted_headers(self):
+        good = encode_dbd(1, 2, 5, {0: 3, 4: 17})
+        # Swap the two 6-byte header entries after the 3-byte DBD head.
+        body_at = len(encode_ack(0, 0, 0)) + 3
+        swapped = (
+            good[:body_at]
+            + good[body_at + 6 : body_at + 12]
+            + good[body_at : body_at + 6]
+        )
+        with pytest.raises(FrameDecodeError, match="sorted"):
+            decode_frame(swapped)
+
+    def test_snap_truncated_vectors(self):
+        data = encode_snap(3, 8, 11, sample_snapshot())
+        with pytest.raises(FrameDecodeError, match="truncated"):
+            decode_frame(data[: len(encode_ack(0, 0, 0)) + 10])
+
+    def test_snap_garbage_topology(self):
+        snap = sample_snapshot(with_topology=False)
+        data = encode_snap(3, 8, 11, snap)
+        # Flip the has-topology flag and append junk.
+        with pytest.raises(FrameDecodeError):
+            decode_frame(data[:-1] + b"\x01garbage")
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_fuzz_corrupted_control_frames(self, suffix):
+        for data in (
+            encode_dbd(1, 2, 5, {0: 3, 4: 17}),
+            encode_snap(3, 8, 11, sample_snapshot()),
+            encode_lsu(2, 0, 9, sample_router_lsa()),
+        ):
+            for blob in (data[: len(data) // 2] + suffix, data + suffix):
+                try:
+                    decode_frame(blob)
+                except FrameDecodeError:
+                    pass
 
 
 class TestRobustness:

@@ -45,6 +45,45 @@ class TestFaultPlan:
         assert not any(inj.should_drop() for _ in range(100))
         assert inj.send_delay() == 0.0
 
+    def test_duplicate_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(duplicate_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(duplicate_rate=-0.1)
+        assert FaultPlan(duplicate_rate=0.3).active
+        assert not FaultPlan(duplicate_rate=0.0).active
+
+    def test_duplicate_rate_seeded(self):
+        plan = FaultPlan(duplicate_rate=0.5, seed=11)
+        rolls = [FaultInjector(plan).should_duplicate() for _ in range(1)]
+        inj = FaultInjector(plan)
+        stream = [inj.should_duplicate() for _ in range(50)]
+        inj2 = FaultInjector(plan)
+        assert [inj2.should_duplicate() for _ in range(50)] == stream
+        assert rolls[0] == stream[0]
+        assert 0 < sum(stream) < 50  # really probabilistic at 0.5
+
+    def test_zero_duplicate_rate_never_duplicates_nor_rolls(self):
+        """The zero-rate short circuit must not perturb the RNG stream."""
+        plan = FaultPlan(loss=0.5, seed=11)
+        inj_plain = FaultInjector(plan)
+        inj_dup = FaultInjector(FaultPlan(loss=0.5, duplicate_rate=0.0, seed=11))
+        assert not any(inj_dup.should_duplicate() for _ in range(10))
+        assert [inj_plain.should_drop() for _ in range(30)] == [
+            inj_dup.should_drop() for _ in range(30)
+        ]
+
+    def test_cut_is_deterministic_and_symmetric(self):
+        inj = FaultInjector(FaultPlan(loss=0.9, seed=2))
+        inj.cut([(1, 2)])
+        assert inj.is_cut(1, 2) and inj.is_cut(2, 1)
+        assert not inj.is_cut(0, 1)
+        inj.heal([(2, 1)])
+        assert not inj.is_cut(1, 2)
+        inj.cut([(3, 4), (5, 6)])
+        inj.heal_all()
+        assert inj.cut_pairs == frozenset()
+
 
 class TestKernelTransport:
     def test_delivers_via_kernel_with_delay(self):
@@ -235,6 +274,100 @@ class TestUdpTransport:
             return transport.idle
 
         assert asyncio.run(run())
+
+    def test_wire_duplicates_injected_and_absorbed(self):
+        """The duplicate dial puts copies on the wire; dedup absorbs them."""
+
+        async def run():
+            transport = UdpTransport(
+                [0, 1],
+                faults=FaultPlan(duplicate_rate=1.0, seed=4),
+                policy=RetransmitPolicy(rto=0.05, rto_max=0.1, max_attempts=20),
+            )
+            got = []
+            transport.register(1, lambda dest, p: got.append(p))
+            await transport.start()
+            try:
+                for i in range(5):
+                    transport.send(0, 1, make_lsa(seq=i + 1))
+                await _drive(
+                    transport, lambda: len(got) == 5 and transport.idle, timeout=10.0
+                )
+                return len(got), transport.counters()
+            finally:
+                await transport.stop()
+
+        delivered, counters = asyncio.run(run())
+        assert delivered == 5  # exactly-once despite every frame doubling
+        assert counters["live_duplicates_injected_total"] >= 5
+        assert counters["live_duplicates_dropped_total"] >= 5
+
+    def test_cut_abandons_frames_without_touching_rng(self):
+        """Frames into a cut burn their budget and are abandoned; healing
+        restores delivery (the same reliable seq space keeps working)."""
+
+        async def run():
+            transport = UdpTransport(
+                [0, 1],
+                policy=RetransmitPolicy(rto=0.005, rto_max=0.01, max_attempts=3),
+            )
+            got = []
+            transport.register(1, lambda dest, p: got.append(p))
+            await transport.start()
+            try:
+                transport.injector.cut([(0, 1)])
+                transport.send(0, 1, make_lsa(seq=1))
+                await _drive(transport, lambda: transport.idle, timeout=5.0)
+                mid = dict(transport.counters())
+                transport.injector.heal([(0, 1)])
+                transport.send(0, 1, make_lsa(seq=2))
+                await _drive(
+                    transport, lambda: bool(got) and transport.idle, timeout=5.0
+                )
+                return got, mid, transport.counters()
+            finally:
+                await transport.stop()
+
+        got, mid, counters = asyncio.run(run())
+        assert mid["live_delivery_failures_total"] == 1
+        assert mid["live_cut_drops_total"] > 0
+        assert [lsa.timestamp[0] for lsa in got] == [2]
+        assert counters["live_delivery_failures_total"] == 1
+
+    def test_set_host_down_blackholes_and_drops_pending(self):
+        async def run():
+            transport = UdpTransport(
+                [0, 1, 2],
+                policy=RetransmitPolicy(rto=0.01, rto_max=0.05, max_attempts=4),
+            )
+            got = []
+            transport.register(1, lambda dest, p: got.append(p))
+            transport.register(2, lambda dest, p: got.append(p))
+            await transport.start()
+            try:
+                transport.set_host_down(2)
+                assert transport.is_host_down(2)
+                # A pending frame toward the downed host is abandoned at once.
+                transport.send(0, 2, make_lsa(seq=1))
+                await _drive(transport, lambda: transport.idle, timeout=5.0)
+                down_counters = dict(transport.counters())
+                # Traffic between live hosts is unaffected.
+                transport.send(0, 1, make_lsa(seq=2))
+                await _drive(
+                    transport, lambda: bool(got) and transport.idle, timeout=5.0
+                )
+                transport.set_host_up(2)
+                transport.send(0, 2, make_lsa(seq=3))
+                await _drive(
+                    transport, lambda: len(got) == 2 and transport.idle, timeout=5.0
+                )
+                return got, down_counters
+            finally:
+                await transport.stop()
+
+        got, down_counters = asyncio.run(run())
+        assert down_counters["live_delivery_failures_total"] == 1
+        assert sorted(lsa.timestamp[0] for lsa in got) == [2, 3]
 
 
 class TestRetransmitPolicy:
