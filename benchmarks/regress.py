@@ -25,6 +25,12 @@ Benchmarks:
 * ``tracing_overhead`` -- churn with tracing disabled vs enabled: zero
   extra Dijkstra runs, identical topologies, and a disabled-hook cost
   <= 5% of the mean dispatch time (see docs/observability.md).
+* ``ispf_churn`` / ``ispf_failure_churn`` (``--mode ispf`` only) -- the
+  incremental-SPF gates: the same workload with ISPF repair enabled and
+  disabled must install byte-identical topologies *and* routing tables;
+  on the churn+failure workload the repairs must actually engage
+  (``ispf_repairs > 0``) and spend >= 2x fewer edge relaxations than
+  full recomputation at n = 100.
 
 Every report embeds the process-wide metrics registry's sample deltas
 (``"metrics"``), and each run also writes ``TRACE_<mode>.json`` (Chrome
@@ -85,7 +91,13 @@ MODES: Dict[str, tuple] = {
     "quick": ((16,), 1),
     "smoke": ((20, 40), 2),
     "full": ((20, 40, 60, 80, 100), 5),
+    # The incremental-SPF invariant gate: small size for breadth, n=100
+    # because that is where the acceptance criterion measures the win.
+    "ispf": ((20, 100), 1),
 }
+
+#: Benchmarks that only run under --mode ispf (and via --only).
+ISPF_BENCHMARKS = ("ispf_churn", "ispf_failure_churn")
 
 
 # -- benchmark bodies --------------------------------------------------------
@@ -138,12 +150,32 @@ def bench_spf_substrate(sizes, graphs) -> Dict[str, object]:
     }
 
 
+def _topology_blob(dgmc, m) -> bytes:
+    """Canonical bytes of every switch's installed topology."""
+    snapshot = []
+    for x, state in sorted(dgmc.states_for(m).items()):
+        edges = sorted(state.installed.all_edges()) if state.installed else []
+        members = sorted((sw, sorted(r)) for sw, r in state.members.items())
+        snapshot.append((x, edges, members))
+    return repr(snapshot).encode()
+
+
+def _routing_blob(dgmc) -> bytes:
+    """Canonical bytes of every switch's unicast next-hop table."""
+    tables = [
+        (x, sorted(dgmc.routers[x].routing_table().items()))
+        for x in sorted(dgmc.routers)
+    ]
+    return repr(tables).encode()
+
+
 def _churn_run(n: int, graph: int, seed: int) -> tuple:
     """One exp1-style churn trial.
 
-    Returns ``(dijkstra runs, topology bytes, events dispatched)``.  The
-    scenario is rebuilt deterministically from the seed, so cached and
-    uncached invocations see byte-identical inputs.
+    Returns ``(dijkstra runs, relaxations, topology bytes, routing-table
+    bytes, events dispatched)``.  The scenario is rebuilt
+    deterministically from the seed, so cached and uncached invocations
+    see byte-identical inputs.
     """
     registry = RngRegistry(seed).fork(f"size={n}/graph={graph}")
     scenario = _bursty_scenario(
@@ -156,6 +188,7 @@ def _churn_run(n: int, graph: int, seed: int) -> tuple:
     dgmc.register_symmetric(scenario.connection_id)
     m = scenario.connection_id
     runs0 = spf.RUN_COUNTER.count
+    relax0 = spf.RELAX_COUNTER.count
 
     gap = 4.0 * scenario.round_length
     t = gap
@@ -174,16 +207,83 @@ def _churn_run(n: int, graph: int, seed: int) -> tuple:
     agreed, detail = dgmc.agreement(m)
     if not agreed:
         raise AssertionError(f"disagreement in churn run n={n}: {detail}")
-    # Canonical bytes of every switch's installed topology.
-    snapshot = []
-    for x, state in sorted(dgmc.states_for(m).items()):
-        edges = sorted(state.installed.all_edges()) if state.installed else []
-        members = sorted((sw, sorted(r)) for sw, r in state.members.items())
-        snapshot.append((x, edges, members))
+    runs = spf.RUN_COUNTER.count - runs0
+    relax = spf.RELAX_COUNTER.count - relax0
     return (
-        spf.RUN_COUNTER.count - runs0,
-        repr(snapshot).encode(),
+        runs,
+        relax,
+        _topology_blob(dgmc, m),
+        _routing_blob(dgmc),
         dgmc.sim.events_dispatched,
+    )
+
+
+def _failure_churn_run(n: int, graph: int, seed: int) -> tuple:
+    """One churn trial with an interleaved link failure/repair campaign.
+
+    This is the workload where incremental SPF must engage: every link
+    event floods exactly one changed LSA, so each LSDB sees a single-link
+    image delta.  Relaxations and ISPF counters are measured over the
+    post-convergence event phase only (bring-up pays the same full
+    Dijkstras under either policy); returns ``(relaxations,
+    ispf_repairs, ispf_full_fallbacks, failure events, topology bytes,
+    routing-table bytes)``.
+    """
+    from repro.workloads.failures import FailureInjector
+
+    registry = RngRegistry(seed).fork(f"size={n}/graph={graph}")
+    scenario = _bursty_scenario(
+        n, graph, registry, EXP1_PER_HOP, EXP1_COMPUTE, "regress-ispf"
+    )
+    config = ProtocolConfig(
+        compute_time=scenario.compute_time, per_hop_delay=scenario.per_hop_delay
+    )
+    dgmc = DgmcNetwork(scenario.net, config)
+    dgmc.register_symmetric(scenario.connection_id)
+    m = scenario.connection_id
+
+    gap = 4.0 * scenario.round_length
+    t = gap
+    for switch in sorted(scenario.schedule.initial_members):
+        dgmc.inject(JoinEvent(switch, m), at=t)
+        t += gap
+    dgmc.run()
+
+    relax0 = spf.RELAX_COUNTER.count
+    stats0 = spfcache.GLOBAL_STATS.copy()
+    injector = FailureInjector(dgmc, registry.stream("failures"))
+    events = scenario.schedule.events
+    horizon = max(
+        (ev.time for ev in events), default=10.0 * scenario.round_length
+    )
+    count = max(4, n // 10)
+    t0 = dgmc.sim.now + gap
+    injector.schedule_campaign(
+        t0,
+        count,
+        mean_gap=horizon / (2.0 * count),
+        mean_downtime=2.0 * scenario.round_length,
+    )
+    for ev in events:
+        if ev.join:
+            dgmc.inject(JoinEvent(ev.switch, m), at=t0 + ev.time)
+        else:
+            dgmc.inject(LeaveEvent(ev.switch, m), at=t0 + ev.time)
+    dgmc.run()
+
+    agreed, detail = dgmc.agreement(m)
+    if not agreed:
+        raise AssertionError(f"disagreement in failure churn n={n}: {detail}")
+    relax = spf.RELAX_COUNTER.count - relax0
+    diff = spfcache.GLOBAL_STATS - stats0
+    link_events = injector.failures_injected + injector.repairs_completed
+    return (
+        relax,
+        diff.ispf_repairs,
+        diff.ispf_full_fallbacks,
+        link_events,
+        _topology_blob(dgmc, m),
+        _routing_blob(dgmc),
     )
 
 
@@ -195,9 +295,9 @@ def bench_cache_equivalence(sizes, graphs) -> Dict[str, object]:
     trials = 0
     for n in sizes:
         for g in range(graphs):
-            runs_c, blob_c, _ = _churn_run(n, g, seed=1996)
+            runs_c, _, blob_c, _, _ = _churn_run(n, g, seed=1996)
             with spfcache.disabled():
-                runs_u, blob_u, _ = _churn_run(n, g, seed=1996)
+                runs_u, _, blob_u, _, _ = _churn_run(n, g, seed=1996)
             cached_runs += runs_c
             uncached_runs += runs_u
             identical = identical and (blob_c == blob_u)
@@ -229,14 +329,14 @@ def bench_tracing_overhead(sizes, graphs) -> Dict[str, object]:
 
     n = min(sizes)
     t0 = time.perf_counter()
-    runs_d, blob_d, events_d = _churn_run(n, 0, seed=1996)
+    runs_d, _, blob_d, _, events_d = _churn_run(n, 0, seed=1996)
     wall_disabled = time.perf_counter() - t0
 
     tracer = Tracer(enabled=True)
     tracer.add_sink(RingBufferSink())
     with use_tracer(tracer):
         t1 = time.perf_counter()
-        runs_e, blob_e, _ = _churn_run(n, 0, seed=1996)
+        runs_e, _, blob_e, _, _ = _churn_run(n, 0, seed=1996)
         wall_enabled = time.perf_counter() - t1
 
     # Microbenchmark of the exact disabled hot-path guard.
@@ -267,17 +367,100 @@ def bench_tracing_overhead(sizes, graphs) -> Dict[str, object]:
     }
 
 
+def bench_ispf_churn(sizes, graphs) -> Dict[str, object]:
+    """ISPF on vs off over membership churn: byte-identical outputs.
+
+    Pure membership churn never invalidates LSDB images (no link events),
+    so this benchmark is an equivalence gate only -- the engagement and
+    relaxation gates live on ``ispf_failure_churn``.
+    """
+    identical_trees = True
+    identical_tables = True
+    trials = 0
+    for n in sizes:
+        for g in range(graphs):
+            _, _, trees_i, tables_i, _ = _churn_run(n, g, seed=2026)
+            with spfcache.ispf_disabled():
+                _, _, trees_f, tables_f, _ = _churn_run(n, g, seed=2026)
+            identical_trees = identical_trees and (trees_i == trees_f)
+            identical_tables = identical_tables and (tables_i == tables_f)
+            trials += 1
+    return {
+        "trials": trials,
+        "identical_trees": identical_trees,
+        "identical_tables": identical_tables,
+    }
+
+
+def bench_ispf_failure_churn(sizes, graphs) -> Dict[str, object]:
+    """Churn + link failures, ISPF on vs off: identical outputs, fewer
+    relaxations.
+
+    Each injected failure/repair floods exactly one changed LSA, so every
+    LSDB sees a single-link image delta -- the case ISPF must repair
+    instead of recomputing.  Gated invariants (see
+    :func:`check_invariants`): byte-identical installed topologies *and*
+    routing tables, ``ispf_repairs > 0``, and (at n >= 100) a >= 2x
+    reduction in edge relaxations over the post-convergence phase.
+    """
+    relax_ispf = 0
+    relax_full = 0
+    repairs = 0
+    fallbacks = 0
+    link_events = 0
+    identical_trees = True
+    identical_tables = True
+    trials = 0
+    for n in sizes:
+        for g in range(graphs):
+            r_i, rep, fb, evs, trees_i, tables_i = _failure_churn_run(
+                n, g, seed=2026
+            )
+            with spfcache.ispf_disabled():
+                r_f, _, _, _, trees_f, tables_f = _failure_churn_run(
+                    n, g, seed=2026
+                )
+            relax_ispf += r_i
+            relax_full += r_f
+            repairs += rep
+            fallbacks += fb
+            link_events += evs
+            identical_trees = identical_trees and (trees_i == trees_f)
+            identical_tables = identical_tables and (tables_i == tables_f)
+            trials += 1
+    reduction = relax_full / relax_ispf if relax_ispf else float("inf")
+    return {
+        "trials": trials,
+        "link_events": link_events,
+        "relaxations_ispf": relax_ispf,
+        "relaxations_full": relax_full,
+        "relaxation_reduction": round(reduction, 3),
+        "ispf_repairs": repairs,
+        "ispf_full_fallbacks": fallbacks,
+        "identical_trees": identical_trees,
+        "identical_tables": identical_tables,
+    }
+
+
 BENCHMARKS: Dict[str, Callable] = {
     "exp1_churn": bench_exp1_churn,
     "exp2_churn": bench_exp2_churn,
     "spf_substrate": bench_spf_substrate,
     "cache_equivalence": bench_cache_equivalence,
     "tracing_overhead": bench_tracing_overhead,
+    "ispf_churn": bench_ispf_churn,
+    "ispf_failure_churn": bench_ispf_failure_churn,
 }
 
 #: Keys gated with --count-tolerance when present in both runs (wall time
 #: is always gated with --tolerance).
-COUNTER_KEYS = ("dijkstra_runs", "computations", "floodings", "events")
+COUNTER_KEYS = (
+    "dijkstra_runs",
+    "computations",
+    "floodings",
+    "events",
+    "relaxations_ispf",
+)
 
 
 # -- run / report ------------------------------------------------------------
@@ -288,7 +471,13 @@ def run_benchmarks(mode: str, only: Optional[List[str]] = None) -> Dict[str, obj
     records: Dict[str, Dict[str, object]] = {}
     snap0 = GLOBAL_REGISTRY.snapshot()
     for name, fn in BENCHMARKS.items():
-        if only and name not in only:
+        if only:
+            if name not in only:
+                continue
+        elif mode == "ispf":
+            if name not in ISPF_BENCHMARKS:
+                continue
+        elif name in ISPF_BENCHMARKS:
             continue
         start = time.perf_counter()
         record = fn(sizes, graphs)
@@ -371,6 +560,37 @@ def check_invariants(report: Dict[str, object]) -> List[str]:
                 "tracing_overhead: disabled tracing hook costs "
                 f"{tr['disabled_hook_fraction']:.1%} of the mean dispatch "
                 "time (> 5%)"
+            )
+    for name in ISPF_BENCHMARKS:
+        record = benches.get(name)
+        if record is None:
+            continue
+        if not record["identical_trees"]:
+            failures.append(
+                f"{name}: ISPF-repaired and full-recompute runs produced "
+                "different installed topologies"
+            )
+        if not record["identical_tables"]:
+            failures.append(
+                f"{name}: ISPF-repaired and full-recompute runs produced "
+                "different routing tables"
+            )
+    fc = benches.get("ispf_failure_churn")
+    if fc is not None:
+        if fc["ispf_repairs"] <= 0:
+            failures.append(
+                "ispf_failure_churn: ispf_repairs == 0 -- the incremental "
+                "fast path stopped engaging on the link-event workload"
+            )
+        # The >= 2x relaxation win is an n=100 acceptance criterion; a
+        # quick --only run at small n must not flake on it.
+        if (
+            max(report.get("sizes", [0])) >= 100
+            and fc["relaxation_reduction"] < 2.0
+        ):
+            failures.append(
+                "ispf_failure_churn: relaxation reduction "
+                f"{fc['relaxation_reduction']:.2f}x < 2.0x"
             )
     return failures
 

@@ -5,6 +5,7 @@ An OSPF-like unicast protocol, built from scratch:
 * :mod:`repro.lsr.lsa` -- router LSAs describing a switch's incident links,
 * :mod:`repro.lsr.lsdb` -- per-switch link-state database and network image,
 * :mod:`repro.lsr.spf` -- Dijkstra shortest-path-first computations,
+* :mod:`repro.lsr.ispf` -- incremental SPF repair after single-link deltas,
 * :mod:`repro.lsr.spfcache` -- generation-keyed memoization of SPF results,
 * :mod:`repro.lsr.flooding` -- the simulated hop-by-hop flooding fabric,
 * :mod:`repro.lsr.router` -- the unicast router entity at each switch.
@@ -17,6 +18,7 @@ the network image assembled here.
 from repro.lsr.lsa import NonMcLsa, RouterLsa
 from repro.lsr.lsdb import LinkStateDatabase
 from repro.lsr.spf import dijkstra, routing_table, shortest_path
+from repro.lsr.ispf import LinkDelta, repair_sssp
 from repro.lsr.spfcache import CacheStats, SpfCache
 from repro.lsr.flooding import FloodDelivery, FloodingFabric
 from repro.lsr.router import UnicastRouter
@@ -28,6 +30,8 @@ __all__ = [
     "dijkstra",
     "shortest_path",
     "routing_table",
+    "LinkDelta",
+    "repair_sssp",
     "SpfCache",
     "CacheStats",
     "FloodingFabric",

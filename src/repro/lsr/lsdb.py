@@ -9,10 +9,15 @@ the image only when **both** endpoints currently advertise it as up.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
+from repro.lsr.ispf import LinkDelta
 from repro.lsr.lsa import RouterLsa
 from repro.lsr.spfcache import CacheStats, count_invalidation, wrap_image
+
+#: Longest delta sequence worth replaying through incremental SPF; past
+#: this, a full Dijkstra is cheaper than the chain of repairs.
+_MAX_PENDING_DELTAS = 8
 
 
 class LinkStateDatabase:
@@ -34,18 +39,100 @@ class LinkStateDatabase:
         self.installs = 0
         #: SPF cache counters, shared by every image generation of this db.
         self.spf_stats = CacheStats()
+        #: The superseded image (when one existed at invalidation time) and
+        #: the ordered link deltas leading from it to the next image --
+        #: possibly several, when multiple installs land between rebuilds.
+        #: Threaded into the next :func:`wrap_image` so incremental SPF can
+        #: repair the old generation's trees instead of recomputing them;
+        #: ``None`` means the combined change is too large to track.
+        self._prev_image: Optional[Mapping[int, Dict[int, float]]] = None
+        self._pending_delta: Optional[Tuple[LinkDelta, ...]] = None
+        #: Whether the most recent accepted install affected the image
+        #: (False only for content-identical refreshes detected against a
+        #: live image); consumers may keep image-derived state when False.
+        self.last_install_changed_image = True
 
     def install(self, lsa: RouterLsa) -> bool:
-        """Install ``lsa`` if it is newer than the stored one; return whether."""
+        """Install ``lsa`` if it is newer than the stored one; return whether.
+
+        An accepted install whose link content matches the stored LSA (a
+        pure seqnum refresh) keeps the current image -- and its memoized
+        SPF results -- valid.  Link changes (from this and any further
+        installs before the next rebuild) accumulate as an ordered delta
+        sequence for the next image generation; past
+        :data:`_MAX_PENDING_DELTAS` changes the sequence degrades to the
+        old discard-everything behavior.
+        """
         current = self._entries.get(lsa.origin)
         if current is not None and not lsa.is_newer_than(current):
             return False
+        changes: Optional[Tuple[LinkDelta, ...]] = None
+        if self._image is not None or self._prev_image is not None:
+            changes = self._image_delta(current, lsa)
         self._entries[lsa.origin] = lsa
-        if self._image is not None:
-            self._image = None
-            count_invalidation(self.spf_stats)
         self.installs += 1
+        self.last_install_changed_image = changes != ()
+        if self._image is not None:
+            if changes == ():
+                return True
+            self._prev_image = self._image
+            self._image = None
+            self._pending_delta = (
+                changes
+                if changes is not None
+                and len(changes) <= _MAX_PENDING_DELTAS
+                else None
+            )
+            count_invalidation(self.spf_stats)
+        elif self._prev_image is not None and changes:
+            # Further image-affecting installs before the rebuild extend
+            # the sequence (incremental SPF replays it in order).
+            if self._pending_delta is not None:
+                combined = self._pending_delta + changes
+                self._pending_delta = (
+                    combined if len(combined) <= _MAX_PENDING_DELTAS else None
+                )
         return True
+
+    def _lsa_edges(self, origin: int, lsa: Optional[RouterLsa]) -> Dict[int, float]:
+        """Image edges incident to ``origin`` if ``lsa`` were its entry.
+
+        Applies the same two-way check and mean-delay rule as
+        :meth:`adjacency`, against the *current* peer entries.
+        """
+        edges: Dict[int, float] = {}
+        if lsa is None:
+            return edges
+        for nbr, delay, up in lsa.links:
+            if not up:
+                continue
+            peer = self._entries.get(nbr)
+            if peer is None:
+                continue
+            back = peer.link_map().get(origin)
+            if back is None or not back[1]:
+                continue
+            edges[nbr] = (delay + back[0]) / 2.0
+        return edges
+
+    def _image_delta(
+        self, old: Optional[RouterLsa], new: RouterLsa
+    ) -> Tuple[LinkDelta, ...]:
+        """Image edge changes caused by replacing ``old`` with ``new``.
+
+        An install only touches edges incident to the LSA's origin (the
+        two-way check consults peers, but peers are unchanged), so diffing
+        the origin's effective edge sets captures the whole image delta.
+        """
+        before = self._lsa_edges(new.origin, old)
+        after = self._lsa_edges(new.origin, new)
+        changes = []
+        for nbr in sorted(set(before) | set(after)):
+            old_w = before.get(nbr)
+            new_w = after.get(nbr)
+            if old_w != new_w:
+                changes.append((new.origin, nbr, old_w, new_w))
+        return tuple(changes)
 
     def get(self, origin: int) -> Optional[RouterLsa]:
         return self._entries.get(origin)
@@ -89,7 +176,15 @@ class LinkStateDatabase:
                 if back is None or not back[1]:
                     continue
                 adj[origin][nbr] = (delay + back[0]) / 2.0
-        self._image = wrap_image(adj, stats=self.spf_stats, generation=self.installs)
+        self._image = wrap_image(
+            adj,
+            stats=self.spf_stats,
+            generation=self.installs,
+            prev=self._prev_image,
+            delta=self._pending_delta,
+        )
+        self._prev_image = None
+        self._pending_delta = None
         return self._image
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -95,10 +95,17 @@ class UnicastRouter:
     # -- reception -------------------------------------------------------------
 
     def receive(self, lsa: NonMcLsa) -> bool:
-        """Install a flooded non-MC LSA; returns True if it was news."""
+        """Install a flooded non-MC LSA; returns True if it was news.
+
+        A content-identical refresh (newer seqnum, same links) leaves the
+        network image -- and with it the locally memoized routing table --
+        intact; the image-change hook still fires for any accepted
+        install, preserving the MC layer's triggering behavior.
+        """
         changed = self.lsdb.install(lsa.description)
         if changed:
-            self._routing_table = None
+            if self.lsdb.last_install_changed_image:
+                self._routing_table = None
             if self.on_image_change is not None:
                 self.on_image_change()
         return changed

@@ -43,6 +43,12 @@ class RunCounter:
 
 RUN_COUNTER = RunCounter()
 
+#: Process-wide count of edge relaxations (edges examined), by full runs
+#: and by :mod:`repro.lsr.ispf` repairs alike.  This is the unit in which
+#: the bench gate verifies that incremental SPF does strictly less work
+#: than recomputing from scratch.
+RELAX_COUNTER = RunCounter()
+
 
 @_GLOBAL_REGISTRY.register_collector
 def _collect_dijkstra_runs(reg) -> None:
@@ -50,6 +56,10 @@ def _collect_dijkstra_runs(reg) -> None:
         "spf_dijkstra_runs_total",
         "process-wide full Dijkstra executions (cached misses and uncached calls)",
     ).set_total(RUN_COUNTER.count)
+    reg.counter(
+        "spf_relaxations_total",
+        "process-wide edge relaxations, by full Dijkstra runs and ISPF repairs",
+    ).set_total(RELAX_COUNTER.count)
 
 
 def network_adjacency(net, include_down: bool = False) -> Dict[int, Dict[int, float]]:
@@ -99,6 +109,7 @@ def _dijkstra_body(
 ) -> tuple[Dict[int, float], Dict[int, Optional[int]]]:
     dist: Dict[int, float] = {}
     parent: Dict[int, Optional[int]] = {}
+    relaxed = 0
     # Heap entries: (distance, tie-break parent id, node, parent).
     heap: list[tuple[float, int, int, Optional[int]]] = [(0.0, -1, source, None)]
     while heap:
@@ -107,9 +118,12 @@ def _dijkstra_body(
             continue
         dist[node] = d
         parent[node] = via
-        for nbr, w in adj.get(node, {}).items():
+        nbrs = adj.get(node, {})
+        relaxed += len(nbrs)
+        for nbr, w in nbrs.items():
             if nbr not in dist:
                 heapq.heappush(heap, (d + w, node, nbr, node))
+    RELAX_COUNTER.count += relaxed
     return dist, parent
 
 

@@ -36,10 +36,17 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
-from repro.lsr.spf import dijkstra_uncached
+from repro.lsr import ispf as _ispf
+from repro.lsr.spf import RELAX_COUNTER, dijkstra_uncached
 from repro.obs.metrics import REGISTRY as _GLOBAL_REGISTRY
 
 _enabled = True
+_ispf_on = True
+
+#: Longest chain of single-link repairs applied before giving up and
+#: running full Dijkstra; also bounds how many superseded generations a
+#: live cache can keep reachable.
+_MAX_REPAIR_CHAIN = 8
 
 
 def set_enabled(flag: bool) -> bool:
@@ -70,6 +77,33 @@ def disabled():
         set_enabled(previous)
 
 
+def set_ispf_enabled(flag: bool) -> bool:
+    """Globally enable/disable incremental SPF repair; returns the previous
+    value.  When disabled, every cache miss pays a full Dijkstra even if a
+    single-link delta from the previous generation is known -- the
+    pre-ISPF behavior.  ``benchmarks/regress.py --mode ispf`` flips this
+    to prove repaired and recomputed trees are byte-identical.
+    """
+    global _ispf_on
+    previous = _ispf_on
+    _ispf_on = bool(flag)
+    return previous
+
+
+def ispf_enabled() -> bool:
+    return _ispf_on
+
+
+@contextmanager
+def ispf_disabled():
+    """Context manager: run a block with incremental SPF repair off."""
+    previous = set_ispf_enabled(False)
+    try:
+        yield
+    finally:
+        set_ispf_enabled(previous)
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/invalidation counters, shared across cache generations.
@@ -84,6 +118,14 @@ class CacheStats:
     invalidations: int = 0
     #: Full Dijkstra executions performed on behalf of this cache.
     full_runs: int = 0
+    #: Misses answered by incremental repair instead of a full Dijkstra.
+    ispf_repairs: int = 0
+    #: Misses where repair history existed but ISPF still fell back to a
+    #: full run (multi-link delta, broken chain, or source never solved).
+    ispf_full_fallbacks: int = 0
+    #: Edge relaxations spent on behalf of this cache (full runs and
+    #: repairs alike).
+    relaxations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -96,6 +138,9 @@ class CacheStats:
             self.misses + other.misses,
             self.invalidations + other.invalidations,
             self.full_runs + other.full_runs,
+            self.ispf_repairs + other.ispf_repairs,
+            self.ispf_full_fallbacks + other.ispf_full_fallbacks,
+            self.relaxations + other.relaxations,
         )
 
     def __sub__(self, other: "CacheStats") -> "CacheStats":
@@ -104,10 +149,21 @@ class CacheStats:
             self.misses - other.misses,
             self.invalidations - other.invalidations,
             self.full_runs - other.full_runs,
+            self.ispf_repairs - other.ispf_repairs,
+            self.ispf_full_fallbacks - other.ispf_full_fallbacks,
+            self.relaxations - other.relaxations,
         )
 
     def copy(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.invalidations, self.full_runs)
+        return CacheStats(
+            self.hits,
+            self.misses,
+            self.invalidations,
+            self.full_runs,
+            self.ispf_repairs,
+            self.ispf_full_fallbacks,
+            self.relaxations,
+        )
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -115,6 +171,9 @@ class CacheStats:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "full_runs": self.full_runs,
+            "ispf_repairs": self.ispf_repairs,
+            "ispf_full_fallbacks": self.ispf_full_fallbacks,
+            "relaxations": self.relaxations,
             "hit_rate": self.hit_rate,
         }
 
@@ -157,6 +216,15 @@ def _collect_cache_totals(reg) -> None:
         "spf_cache_full_runs_total",
         "process-wide full Dijkstra executions performed by caches",
     ).set_total(GLOBAL_STATS.full_runs)
+    reg.counter(
+        "spf_ispf_repairs_total",
+        "process-wide cache misses answered by incremental SPF repair",
+    ).set_total(GLOBAL_STATS.ispf_repairs)
+    reg.counter(
+        "spf_ispf_full_fallbacks_total",
+        "process-wide cache misses that fell back to full Dijkstra despite "
+        "repair history (multi-link delta or unsolved source)",
+    ).set_total(GLOBAL_STATS.ispf_full_fallbacks)
 
 
 class SpfCache(MappingABC):
@@ -167,13 +235,25 @@ class SpfCache(MappingABC):
     the image changes, rather than mutating an existing one.
     """
 
-    __slots__ = ("_adj", "stats", "generation", "_sssp", "_tables", "_ecc")
+    __slots__ = (
+        "_adj",
+        "stats",
+        "generation",
+        "_sssp",
+        "_tables",
+        "_ecc",
+        "_prev",
+        "_delta",
+        "_had_history",
+    )
 
     def __init__(
         self,
         adj: Mapping[int, Mapping[int, float]],
         stats: Optional[CacheStats] = None,
         generation: int = 0,
+        prev: Optional[object] = None,
+        delta: Optional[Tuple[_ispf.LinkDelta, ...]] = None,
     ) -> None:
         self._adj = adj
         self.stats = stats if stats is not None else CacheStats()
@@ -182,6 +262,28 @@ class SpfCache(MappingABC):
         self._sssp: Dict[int, Tuple[Dict[int, float], Dict[int, Optional[int]]]] = {}
         self._tables: Dict[int, Dict[int, int]] = {}
         self._ecc: Dict[int, float] = {}
+        #: The superseded generation plus the ordered link deltas leading
+        #: here, when the producer knows them -- the ISPF repair chain.  A
+        #: ``prev`` without a usable ``delta`` only marks that history
+        #: existed (for fallback accounting) and is not retained.
+        usable = bool(delta) and isinstance(prev, SpfCache)
+        self._prev: Optional[SpfCache] = prev if usable else None
+        self._delta = delta if usable else None
+        self._had_history = prev is not None
+        if self._prev is not None:
+            self._trim_chain()
+
+    def _trim_chain(self) -> None:
+        """Cap the repair chain so superseded images can be collected."""
+        depth = 1
+        node = self._prev
+        while node is not None and node._prev is not None:
+            depth += 1
+            if depth >= _MAX_REPAIR_CHAIN:
+                node._prev = None
+                node._delta = None
+                return
+            node = node._prev
 
     # -- mapping protocol (read-only view of the wrapped adjacency) --------
 
@@ -219,19 +321,63 @@ class SpfCache(MappingABC):
     def sssp(
         self, source: int
     ) -> Tuple[Dict[int, float], Dict[int, Optional[int]]]:
-        """Memoized single-source shortest paths (``spf.dijkstra``)."""
+        """Memoized single-source shortest paths (``spf.dijkstra``).
+
+        On a miss, when this generation descends from a superseded one by
+        a chain of known single-link deltas and that ancestor already
+        solved ``source``, the old tree is *repaired* (see
+        :mod:`repro.lsr.ispf`) instead of re-running full Dijkstra;
+        otherwise -- and whenever ISPF is globally disabled -- the miss
+        pays a full run, exactly as before.
+        """
         entry = self._sssp.get(source)
         if entry is not None:
             self.stats.hits += 1
             GLOBAL_STATS.hits += 1
             return entry
         self.stats.misses += 1
-        self.stats.full_runs += 1
         GLOBAL_STATS.misses += 1
-        GLOBAL_STATS.full_runs += 1
-        entry = dijkstra_uncached(self._adj, source)
+        before = RELAX_COUNTER.count
+        entry = self._repair_from_chain(source) if _ispf_on else None
+        if entry is not None:
+            self.stats.ispf_repairs += 1
+            GLOBAL_STATS.ispf_repairs += 1
+        else:
+            if _ispf_on and self._had_history:
+                self.stats.ispf_full_fallbacks += 1
+                GLOBAL_STATS.ispf_full_fallbacks += 1
+            self.stats.full_runs += 1
+            GLOBAL_STATS.full_runs += 1
+            entry = dijkstra_uncached(self._adj, source)
+        spent = RELAX_COUNTER.count - before
+        self.stats.relaxations += spent
+        GLOBAL_STATS.relaxations += spent
         self._sssp[source] = entry
         return entry
+
+    def _repair_from_chain(
+        self, source: int
+    ) -> Optional[Tuple[Dict[int, float], Dict[int, Optional[int]]]]:
+        """Walk superseded generations for a solved tree and repair it
+        forward through each intervening delta; None when impossible."""
+        steps: list = []
+        node = self
+        while node._prev is not None and len(steps) < _MAX_REPAIR_CHAIN:
+            steps.append((node._adj, node._delta))
+            node = node._prev
+            base = node._sssp.get(source)
+            if base is None:
+                continue
+            dist, parent = base
+            for adj_i, delta_i in reversed(steps):
+                repaired = _ispf.repair_sssp_chain(
+                    adj_i, source, dist, parent, delta_i
+                )
+                if repaired is None:  # pragma: no cover - inconsistent chain
+                    return None
+                dist, parent = repaired
+            return dist, parent
+        return None
 
     def routing_table(self, source: int) -> Dict[int, int]:
         """Memoized OSPF-style next-hop table from ``source``."""
@@ -284,8 +430,17 @@ def wrap_image(
     adj: Dict[int, Dict[int, float]],
     stats: Optional[CacheStats] = None,
     generation: int = 0,
+    prev: Optional[object] = None,
+    delta: Optional[Tuple[_ispf.LinkDelta, ...]] = None,
 ):
-    """Wrap a freshly built image in a cache, honoring the global switch."""
+    """Wrap a freshly built image in a cache, honoring the global switch.
+
+    Producers that know *how* the image changed pass the superseded
+    ``prev`` snapshot plus the ordered link ``delta`` sequence leading
+    here, making the new generation repairable by incremental SPF.
+    ``prev`` with ``delta=None`` records that history existed but the
+    change was too large to track (fallback accounting only).
+    """
     if not _enabled:
         return adj
-    return SpfCache(adj, stats=stats, generation=generation)
+    return SpfCache(adj, stats=stats, generation=generation, prev=prev, delta=delta)

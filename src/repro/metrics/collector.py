@@ -78,6 +78,21 @@ class TrialMetrics:
         return int(self.metrics.get(attach.SPF_INVALIDATIONS, 0))
 
     @property
+    def ispf_repairs(self) -> int:
+        """Cache misses answered by incremental SPF repair."""
+        return int(self.metrics.get(attach.SPF_ISPF_REPAIRS, 0))
+
+    @property
+    def ispf_full_fallbacks(self) -> int:
+        """Misses that fell back to full Dijkstra despite repair history."""
+        return int(self.metrics.get(attach.SPF_ISPF_FALLBACKS, 0))
+
+    @property
+    def spf_relaxations(self) -> int:
+        """Edge relaxations spent by this network's SPF caches."""
+        return int(self.metrics.get(attach.SPF_RELAXATIONS, 0))
+
+    @property
     def spf_hit_rate(self) -> float:
         """Fraction of SPF queries answered from the cache."""
         total = self.spf_hits + self.spf_misses

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import abc
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.net.faults import FaultInjector, FaultPlan
@@ -145,6 +145,42 @@ class _Pending:
 
 
 @dataclass
+class _PeerDedup:
+    """Receive-side exactly-once state for one ``(receiver, src)`` pair.
+
+    ``floor`` is the contiguous-prefix high-water mark: every sequence
+    number at or below it has been delivered.  ``window`` holds the
+    delivered sequence numbers above the floor (gaps come from abandoned
+    or still-retransmitting frames); whenever the gap right above the
+    floor fills, the contiguous prefix is compacted back into the floor.
+    The window is bounded: on overflow the floor is forced past the
+    oldest gap, so per-peer memory is O(window cap) regardless of how
+    many frames a soak delivers.  A frame older than the floor whose
+    *delivery* (not just its ack) is still outstanding would be wrongly
+    suppressed -- impossible in practice, since stop-and-wait abandons a
+    sequence number long before ``window`` more frames can follow it.
+    """
+
+    floor: int = 0
+    window: Set[int] = field(default_factory=set)
+
+    def seen(self, seq: int) -> bool:
+        return seq <= self.floor or seq in self.window
+
+    def add(self, seq: int, cap: int) -> None:
+        self.window.add(seq)
+        while self.floor + 1 in self.window:
+            self.floor += 1
+            self.window.discard(self.floor)
+        while len(self.window) > cap:
+            self.floor = min(self.window)
+            self.window.discard(self.floor)
+            while self.floor + 1 in self.window:
+                self.floor += 1
+                self.window.discard(self.floor)
+
+
+@dataclass
 class RetransmitPolicy:
     """Ack/retransmit knobs of the UDP transport.
 
@@ -194,9 +230,11 @@ class UdpTransport(Transport):
     counting where its predecessor stopped, so peers' dedup windows need
     no reset handshake.
 
-    Known limits (see docs/live-runtime.md): the dedupe window grows with
-    the per-peer frame count, and frames are independent (no pipelining
-    window), which is fine at control-plane LSA rates.
+    Receive-side deduplication keeps O(1) state per peer pair: an
+    ack-floor plus a bounded out-of-order window with contiguous-prefix
+    compaction (see :class:`_PeerDedup`).  Frames are independent (no
+    pipelining window), which is fine at control-plane LSA rates; see
+    docs/live-runtime.md for the remaining fidelity notes.
     """
 
     def __init__(
@@ -206,6 +244,7 @@ class UdpTransport(Transport):
         policy: Optional[RetransmitPolicy] = None,
         host: str = "127.0.0.1",
         metrics: Optional[MetricsRegistry] = None,
+        dedup_window: int = 512,
     ) -> None:
         self.switch_ids: List[int] = sorted(switch_ids)
         self.policy = policy or RetransmitPolicy()
@@ -218,11 +257,17 @@ class UdpTransport(Transport):
         self._addrs: Dict[int, Tuple[str, int]] = {}
         self._seq: Dict[Tuple[int, int], int] = {}
         self._pending: Dict[Tuple[int, int, int], _Pending] = {}
-        #: dest -> (src, seq) pairs already delivered to the handler.
-        self._seen: Dict[int, Set[Tuple[int, int]]] = {}
+        #: (receiver, src) -> bounded exactly-once dedup state.
+        self._dedup: Dict[Tuple[int, int], _PeerDedup] = {}
+        #: Out-of-order window cap per peer pair (see :class:`_PeerDedup`).
+        self.dedup_window = dedup_window
         #: Crashed switches: frames from or to them are blackholed.
         self._down: Set[int] = set()
         self._delayed_frames = 0
+        #: Live injected-delay call_later handles, so stop() can cancel
+        #: them instead of leaving stray timers on the loop.
+        self._delay_handles: Dict[int, asyncio.TimerHandle] = {}
+        self._delay_token = 0
         self._started = False
         self._closed = False
         self._socket_errors = 0
@@ -293,12 +338,20 @@ class UdpTransport(Transport):
         self._started = True
 
     async def stop(self) -> None:
-        """Cancel every retransmit timer and close all sockets."""
+        """Cancel every live timer and close all sockets.
+
+        Both retransmit timers *and* injected-delay timers are cancelled,
+        leaving nothing of this transport scheduled on the loop.
+        """
         self._closed = True
         for pending in self._pending.values():
             if pending.timer is not None:
                 pending.timer.cancel()
         self._pending.clear()
+        for handle in self._delay_handles.values():
+            handle.cancel()
+        self._delay_handles.clear()
+        self._delayed_frames = 0
         for transport in self._endpoints.values():
             transport.close()
         # Give the loop one tick to run the close callbacks.
@@ -433,6 +486,17 @@ class UdpTransport(Transport):
             raise RuntimeError("transport not started")
         if self._closed or dest not in self._addrs:
             return
+        if src in self._down or dest in self._down or (
+            dest not in self._handlers and dest not in self._control
+        ):
+            # Fail fast into a known blackhole: a crashed (or torn-down)
+            # endpoint can never ack, so arming the retransmit budget
+            # (~25 attempts of backoff) would only wedge quiescence.  No
+            # sequence number is consumed, so the dedup stream stays
+            # gap-free for the surviving traffic.
+            self._c_blackholed.inc()
+            self._c_failures.inc()
+            return
         key = (src, dest)
         seq = self._seq.get(key, 0) + 1
         self._seq[key] = seq
@@ -493,11 +557,19 @@ class UdpTransport(Transport):
         for _ in range(copies):
             if delay > 0:
                 self._delayed_frames += 1
-                asyncio.get_running_loop().call_later(
-                    delay, self._wire_send, src, dest, frame, kind, True
+                self._delay_token += 1
+                token = self._delay_token
+                self._delay_handles[token] = asyncio.get_running_loop().call_later(
+                    delay, self._fire_delayed, token, src, dest, frame, kind
                 )
             else:
                 self._wire_send(src, dest, frame, kind, False)
+
+    def _fire_delayed(
+        self, token: int, src: int, dest: int, frame: bytes, kind: str
+    ) -> None:
+        self._delay_handles.pop(token, None)
+        self._wire_send(src, dest, frame, kind, True)
 
     def _wire_send(
         self, src: int, dest: int, frame: bytes, kind: str, was_delayed: bool
@@ -556,12 +628,11 @@ class UdpTransport(Transport):
             frames.encode_ack(receiver, frame.src, frame.seq), kind="ack",
         )
         # ... but deliver each frame to the protocol exactly once.
-        seen = self._seen.setdefault(receiver, set())
-        token = (frame.src, frame.seq)
-        if token in seen:
+        dedup = self._dedup.setdefault((receiver, frame.src), _PeerDedup())
+        if dedup.seen(frame.seq):
             self._c_dupes.inc()
             return
-        seen.add(token)
+        dedup.add(frame.seq, self.dedup_window)
         if isinstance(frame, frames.DataFrame):
             handler = self._handlers.get(receiver)
             if handler is None:
@@ -579,6 +650,17 @@ class UdpTransport(Transport):
         control = self._control.get(receiver)
         if control is not None:
             control(receiver, frame)
+
+    def dedup_state(self, receiver: int, src: int) -> Tuple[int, int]:
+        """Diagnostic: ``(floor, out-of-order window size)`` for one pair.
+
+        The window size is the live dedup memory for that peer; a soak
+        that stays at (high floor, ~0 window) is the O(1)-memory proof.
+        """
+        dedup = self._dedup.get((receiver, src))
+        if dedup is None:
+            return (0, 0)
+        return (dedup.floor, len(dedup.window))
 
     def counters(self) -> Dict[str, float]:
         """Snapshot of the runtime's counters (name -> value).

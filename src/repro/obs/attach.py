@@ -34,6 +34,9 @@ SPF_HITS = "spf_cache_hits_total"
 SPF_MISSES = "spf_cache_misses_total"
 SPF_INVALIDATIONS = "spf_cache_invalidations_total"
 SPF_FULL_RUNS = "spf_cache_full_runs_total"
+SPF_ISPF_REPAIRS = "spf_ispf_repairs_total"
+SPF_ISPF_FALLBACKS = "spf_ispf_full_fallbacks_total"
+SPF_RELAXATIONS = "spf_relaxations_total"
 DIJKSTRA_RUNS = "spf_dijkstra_runs_total"
 COMPUTATIONS = "computations_total"
 FLOOD_OPERATIONS = "flood_operations_total"
@@ -76,6 +79,15 @@ def attach_network_metrics(
                         stats.invalidations)
         reg.counter(SPF_FULL_RUNS, "full Dijkstra executions on behalf of "
                     "this network's caches").set_total(stats.full_runs)
+        reg.counter(SPF_ISPF_REPAIRS, "cache misses answered by incremental "
+                    "SPF repair instead of full Dijkstra").set_total(
+                        stats.ispf_repairs)
+        reg.counter(SPF_ISPF_FALLBACKS, "cache misses that fell back to full "
+                    "Dijkstra despite repair history").set_total(
+                        stats.ispf_full_fallbacks)
+        reg.counter(SPF_RELAXATIONS, "edge relaxations spent by this "
+                    "network's caches (full runs and repairs)").set_total(
+                        stats.relaxations)
         reg.counter(DIJKSTRA_RUNS, "process-wide full Dijkstra executions "
                     "(cached misses and uncached calls)").set_total(
                         RUN_COUNTER.count)
@@ -111,4 +123,7 @@ def network_spf_cache_stats(network):
         misses=int(snap.get(SPF_MISSES, 0)),
         invalidations=int(snap.get(SPF_INVALIDATIONS, 0)),
         full_runs=int(snap.get(SPF_FULL_RUNS, 0)),
+        ispf_repairs=int(snap.get(SPF_ISPF_REPAIRS, 0)),
+        ispf_full_fallbacks=int(snap.get(SPF_ISPF_FALLBACKS, 0)),
+        relaxations=int(snap.get(SPF_RELAXATIONS, 0)),
     )

@@ -83,6 +83,13 @@ class Network:
         self._version = 0
         #: Cached SPF views, keyed by include_down (see spf_view).
         self._spf_views: Dict[bool, object] = {}
+        #: Views superseded by the last invalidation, kept one step so the
+        #: next :meth:`spf_view` can chain them for incremental SPF.
+        self._prev_views: Dict[bool, object] = {}
+        #: The mutation behind the latest version bump:
+        #: ``("add", u, v, delay)`` or ``("state", u, v, delay, old_up, up)``.
+        self._last_event: Optional[Tuple] = None
+        self._last_event_version = -1
         #: SPF cache counters for this network's views (lazily created).
         self.spf_stats = None
 
@@ -105,7 +112,7 @@ class Network:
         self._links[key] = link
         self._adj[u][v] = link
         self._adj[v][u] = link
-        self._invalidate_views()
+        self._invalidate_views(("add", u, v, delay))
         return link
 
     def attach_host(self, host_id: str, ingress: int, **attrs) -> Host:
@@ -163,8 +170,9 @@ class Network:
     def set_link_state(self, u: int, v: int, up: bool) -> Link:
         """Mark a link up or down; returns the link."""
         link = self.link(u, v)
+        old_up = link.up
         link.up = up
-        self._invalidate_views()
+        self._invalidate_views(("state", u, v, link.delay, old_up, up))
         return link
 
     # -- SPF views -----------------------------------------------------------
@@ -174,14 +182,50 @@ class Network:
         """Monotone topology version (bumped per link add / state change)."""
         return self._version
 
-    def _invalidate_views(self) -> None:
+    def _invalidate_views(self, event: Optional[Tuple] = None) -> None:
         self._version += 1
+        self._last_event = event
+        self._last_event_version = self._version
         if self._spf_views:
-            self._spf_views.clear()
+            self._prev_views = self._spf_views
+            self._spf_views = {}
             if self.spf_stats is not None:
                 from repro.lsr.spfcache import count_invalidation
 
                 count_invalidation(self.spf_stats)
+
+    @staticmethod
+    def _event_delta(event: Optional[Tuple], include_down: bool):
+        """Translate a recorded mutation into a view's single-link delta
+        ``(u, v, old_weight, new_weight)``, or None if untranslatable."""
+        if event is None:
+            return None
+        if event[0] == "add":
+            _, u, v, delay = event
+            return (u, v, None, delay)
+        _, u, v, delay, old_up, new_up = event
+        if include_down:
+            # The all-links view keeps every edge regardless of state, so
+            # an up/down flip leaves it unchanged (a no-op delta).
+            return (u, v, delay, delay)
+        return (u, v, delay if old_up else None, delay if new_up else None)
+
+    def up_delta_since(self, version: int):
+        """How the up-link adjacency changed since ``version``.
+
+        Returns ``()`` when nothing changed, a 1-tuple of
+        ``(u, v, old_weight, new_weight)`` when exactly one recorded
+        mutation happened, and ``None`` when the gap is wider than one
+        event (caller must rebuild from scratch).  Lets single-link
+        consumers -- the flooding fabric's BFS hop cache -- repair
+        derived state instead of discarding it.
+        """
+        if version == self._version:
+            return ()
+        if version != self._version - 1 or self._last_event_version != self._version:
+            return None
+        delta = self._event_delta(self._last_event, include_down=False)
+        return None if delta is None else (delta,)
 
     def spf_view(self, include_down: bool = False):
         """A memoizing adjacency view (delays as weights) of this network.
@@ -189,9 +233,12 @@ class Network:
         Equivalent in content to :func:`repro.lsr.spf.network_adjacency`
         but wrapped in an :class:`~repro.lsr.spfcache.SpfCache`, so SPF
         results are reused until the next link mutation invalidates the
-        view.  Treat the returned mapping as immutable.
+        view.  When exactly one recorded mutation separates the new view
+        from its predecessor, the delta is threaded into the cache so
+        misses repair the old trees incrementally.  Treat the returned
+        mapping as immutable.
         """
-        from repro.lsr.spfcache import CacheStats, enabled, wrap_image
+        from repro.lsr.spfcache import CacheStats, SpfCache, enabled, wrap_image
 
         key = bool(include_down)
         view = self._spf_views.get(key)
@@ -205,7 +252,22 @@ class Network:
             return adj
         if self.spf_stats is None:
             self.spf_stats = CacheStats()
-        view = wrap_image(adj, stats=self.spf_stats, generation=self._version)
+        prev = self._prev_views.pop(key, None)
+        delta = None
+        if (
+            isinstance(prev, SpfCache)
+            and prev.generation == self._version - 1
+            and self._last_event_version == self._version
+        ):
+            single = self._event_delta(self._last_event, include_down=key)
+            delta = (single,) if single is not None else None
+        view = wrap_image(
+            adj,
+            stats=self.spf_stats,
+            generation=self._version,
+            prev=prev,
+            delta=delta,
+        )
         self._spf_views[key] = view
         return view
 

@@ -2,16 +2,20 @@
 
 from __future__ import annotations
 
+import asyncio
 import random
 
 import pytest
 
+from repro.core.lsa import McEvent, McLsa
 from repro.net.chaos import (
     ChaosAction,
     ChaosSettings,
     build_schedule,
     run_chaos_soak_sync,
 )
+from repro.net.fabric import LiveFabric
+from repro.topo.graph import Network
 
 
 def replay(n: int, seed: int, count: int, members: set) -> list:
@@ -91,6 +95,44 @@ class TestChaosSettings:
         assert cfg.faults.seed == 7
         assert cfg.hello_interval > 0
         assert cfg.dead_interval > cfg.hello_interval
+
+
+class TestCrashBlackhole:
+    def test_send_toward_crashed_host_leaves_no_pending_state(self):
+        """A crash must not let later traffic arm the retransmit budget:
+        frames toward the corpse fail fast instead of wedging quiescence
+        for ~12s of exponential backoff."""
+
+        async def run():
+            net = Network(3)
+            for u, v in ((0, 1), (1, 2), (2, 0)):
+                net.add_link(u, v, delay=1.0)
+            fabric = LiveFabric(net)
+            await fabric.start()
+            try:
+                await fabric.crash(2)
+                before = dict(fabric.transport.counters())
+                fabric.transport.send(
+                    0, 2, McLsa(0, McEvent.LEAVE, 1, None, (1,))
+                )
+                pending = [
+                    key for key in fabric.transport.pending_keys()
+                    if key[1] == 2
+                ]
+                return pending, before, dict(fabric.transport.counters())
+            finally:
+                await fabric.shutdown()
+
+        pending, before, after = asyncio.run(run())
+        assert pending == []
+        assert (
+            after["live_blackholed_total"]
+            >= before["live_blackholed_total"] + 1
+        )
+        assert (
+            after["live_delivery_failures_total"]
+            >= before["live_delivery_failures_total"] + 1
+        )
 
 
 class TestSoakSmoke:

@@ -370,6 +370,130 @@ class TestUdpTransport:
         assert sorted(lsa.timestamp[0] for lsa in got) == [2, 3]
 
 
+    def test_send_to_downed_host_leaves_no_pending_state(self):
+        """Blackhole fast-fail: no retransmit budget, no timers, no seq."""
+
+        async def run():
+            transport = UdpTransport([0, 1])
+            transport.register(1, lambda dest, p: None)
+            await transport.start()
+            try:
+                transport.set_host_down(1)
+                transport.send(0, 1, make_lsa())
+                # The failure is synchronous: nothing queued, no backoff.
+                return (
+                    transport.pending_keys(),
+                    transport.idle,
+                    dict(transport.counters()),
+                )
+            finally:
+                await transport.stop()
+
+        pending, idle, counters = asyncio.run(run())
+        assert pending == []
+        assert idle
+        assert counters["live_blackholed_total"] == 1
+        assert counters["live_delivery_failures_total"] == 1
+
+    def test_send_to_unregistered_host_fails_fast(self):
+        """A torn-down endpoint (crash removed its handler) can never
+        ack; the frame must not arm the retransmit budget."""
+
+        async def run():
+            transport = UdpTransport([0, 1])
+            transport.register(0, lambda dest, p: None)
+            # Nothing registered for 1 -- as after LiveFabric.crash().
+            await transport.start()
+            try:
+                transport.send(0, 1, make_lsa())
+                return transport.pending_keys(), dict(transport.counters())
+            finally:
+                await transport.stop()
+
+        pending, counters = asyncio.run(run())
+        assert pending == []
+        assert counters["live_blackholed_total"] == 1
+        assert counters["live_delivery_failures_total"] == 1
+
+    def test_dedup_memory_stays_bounded_over_soak(self):
+        """10k frames: the per-peer dedup state compacts to its floor."""
+
+        async def run():
+            transport = UdpTransport([0, 1])
+            got = []
+            transport.register(1, lambda dest, p: got.append(p))
+            await transport.start()
+            try:
+                total = 10_000
+                batch = 250  # don't outrun the loopback socket buffers
+                for lo in range(0, total, batch):
+                    for i in range(lo, lo + batch):
+                        transport.send(0, 1, make_lsa(seq=i + 1))
+                    await _drive(
+                        transport,
+                        lambda lo=lo: len(got) >= lo + batch and transport.idle,
+                        timeout=30.0,
+                    )
+                return len(got), transport.dedup_state(1, 0)
+            finally:
+                await transport.stop()
+
+        delivered, (floor, window) = asyncio.run(run())
+        assert delivered == 10_000
+        assert floor == 10_000
+        assert window == 0  # O(1) memory: everything compacted to the floor
+
+    def test_dedup_window_overflow_forces_floor_advance(self):
+        """An abandoned seq gap must not pin the window forever."""
+        from repro.net.transport import _PeerDedup
+
+        dedup = _PeerDedup()
+        # Seq 1 never arrives (abandoned); 2..12 land out of order.
+        for seq in range(2, 13):
+            assert not dedup.seen(seq)
+            dedup.add(seq, cap=4)
+        # The cap forced the floor past the gap: memory stays bounded ...
+        assert len(dedup.window) <= 4
+        assert dedup.floor >= 8
+        # ... and later duplicates of everything delivered are still seen.
+        assert all(dedup.seen(seq) for seq in range(2, 13))
+
+    def test_stop_cancels_injected_delay_timers(self):
+        """stop() mid-delay leaves no armed timers and no phantom frames."""
+
+        async def run():
+            transport = UdpTransport(
+                [0, 1], faults=FaultPlan(delay=30.0, seed=2)
+            )
+            got = []
+            transport.register(1, lambda dest, p: got.append(p))
+            await transport.start()
+            transport.send(0, 1, make_lsa())
+            assert not transport.idle  # the delayed copy counts as in flight
+            handles = list(transport._delay_handles.values())
+            assert handles
+            await transport.stop()
+            loop = asyncio.get_running_loop()
+            scheduled = getattr(loop, "_scheduled", None)
+            alive = (
+                [h for h in scheduled if not h.cancelled()]
+                if scheduled is not None
+                else []
+            )
+            return (
+                transport.idle,
+                all(h.cancelled() for h in handles),
+                alive,
+                got,
+            )
+
+        idle, all_cancelled, alive, got = asyncio.run(run())
+        assert idle
+        assert all_cancelled
+        assert alive == []  # the loop is clean: no stray TimerHandles
+        assert got == []  # and the delayed frame never fired after stop()
+
+
 class TestRetransmitPolicy:
     def test_exponential_backoff_capped(self):
         policy = RetransmitPolicy(rto=0.02, rto_max=0.5)

@@ -37,7 +37,9 @@ class TestReportSchema:
 
     def test_every_benchmark_reports_wall_time(self, regress, quick_report):
         benches = quick_report["benchmarks"]
-        assert set(benches) == set(regress.BENCHMARKS)
+        # The ispf pair only runs under --mode ispf (or --only).
+        expected = set(regress.BENCHMARKS) - set(regress.ISPF_BENCHMARKS)
+        assert set(benches) == expected
         for record in benches.values():
             assert record["wall_time_s"] >= 0.0
 
@@ -67,6 +69,42 @@ class TestInvariants:
         broken["benchmarks"]["exp1_churn"]["all_agreed"] = False
         failures = regress.check_invariants(broken)
         assert len(failures) == 3
+
+
+class TestIspfGate:
+    def test_only_selects_ispf_benchmark(self, regress):
+        report = regress.run_benchmarks("quick", only=["ispf_churn"])
+        assert set(report["benchmarks"]) == {"ispf_churn"}
+        record = report["benchmarks"]["ispf_churn"]
+        assert record["identical_trees"] is True
+        assert record["identical_tables"] is True
+
+    def test_failure_churn_meets_acceptance_bar(self, regress):
+        report = regress.run_benchmarks("quick", only=["ispf_failure_churn"])
+        fc = report["benchmarks"]["ispf_failure_churn"]
+        assert fc["identical_trees"] is True
+        assert fc["identical_tables"] is True
+        assert fc["ispf_repairs"] > 0
+        assert fc["relaxations_ispf"] < fc["relaxations_full"]
+        assert regress.check_invariants(report) == []
+
+    def test_ispf_violations_are_reported(self, regress):
+        report = {
+            "sizes": [20, 100],
+            "benchmarks": {
+                "ispf_failure_churn": {
+                    "identical_trees": False,
+                    "identical_tables": False,
+                    "ispf_repairs": 0,
+                    "relaxation_reduction": 1.5,
+                },
+            },
+        }
+        failures = regress.check_invariants(report)
+        assert len(failures) == 4
+        # The relaxation gate only applies at acceptance scale (n >= 100).
+        report["sizes"] = [16]
+        assert len(regress.check_invariants(report)) == 3
 
 
 class TestBaselineComparison:

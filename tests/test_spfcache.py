@@ -108,6 +108,19 @@ class TestMemoization:
         assert (a + b) - b == a
         assert combined_stats([a, None, b]) == a + b
 
+    def test_stats_carry_ispf_counters(self):
+        a = CacheStats(ispf_repairs=2, ispf_full_fallbacks=1, relaxations=50)
+        b = CacheStats(ispf_repairs=3, relaxations=7)
+        total = a + b
+        assert total.ispf_repairs == 5
+        assert total.ispf_full_fallbacks == 1
+        assert total.relaxations == 57
+        assert (total - b) == a
+        d = a.as_dict()
+        assert d["ispf_repairs"] == 2
+        assert d["ispf_full_fallbacks"] == 1
+        assert d["relaxations"] == 50
+
 
 class TestInvalidation:
     @staticmethod
@@ -130,6 +143,41 @@ class TestInvalidation:
         assert image2[0] == {}  # the down link left the image
         # Snapshot semantics: the old image still answers on old state.
         assert spf.shortest_path(image1, 0, 1) == [0, 1]
+
+    def test_lsdb_refresh_install_keeps_snapshot(self):
+        """A pure seqnum refresh must not discard the image or its memos."""
+        db = LinkStateDatabase(2)
+        db.install(self._lsa(0, 1, [(1, 1.0, True)]))
+        db.install(self._lsa(1, 1, [(0, 1.0, True)]))
+        image = db.adjacency()
+        image.sssp(0)
+        invalidations0 = db.spf_stats.invalidations
+        assert db.install(self._lsa(0, 2, [(1, 1.0, True)]))  # same content
+        assert not db.last_install_changed_image
+        assert db.adjacency() is image
+        assert db.spf_stats.invalidations == invalidations0
+
+    def test_lsdb_single_link_install_repairs_instead_of_rerunning(self):
+        db = LinkStateDatabase(3)
+        db.install(self._lsa(0, 1, [(1, 1.0, True), (2, 1.0, True)]))
+        db.install(self._lsa(1, 1, [(0, 1.0, True), (2, 1.0, True)]))
+        db.install(self._lsa(2, 1, [(0, 1.0, True), (1, 1.0, True)]))
+        db.adjacency().sssp(0)
+        repairs0 = db.spf_stats.ispf_repairs
+        assert db.install(self._lsa(0, 2, [(1, 5.0, True), (2, 1.0, True)]))
+        assert db.last_install_changed_image
+        dist, parent = db.adjacency().sssp(0)
+        assert db.spf_stats.ispf_repairs == repairs0 + 1
+        assert dist == spf.dijkstra_uncached(dict(db.adjacency()), 0)[0]
+        with spfcache.ispf_disabled():
+            # The toggle restores the old recompute-from-scratch path.
+            db2 = LinkStateDatabase(2)
+            db2.install(self._lsa(0, 1, [(1, 1.0, True)]))
+            db2.install(self._lsa(1, 1, [(0, 1.0, True)]))
+            db2.adjacency().sssp(0)
+            db2.install(self._lsa(0, 2, [(1, 2.0, True)]))
+            db2.adjacency().sssp(0)
+            assert db2.spf_stats.ispf_repairs == 0
 
     def test_lsdb_stale_install_keeps_snapshot(self):
         db = LinkStateDatabase(2)
