@@ -18,7 +18,12 @@ Commands:
   transport's counters as Prometheus text,
 * ``chaos``     -- seeded crash/restart/partition/churn soak on the live
   backend with hello-based failure detection and neighbor resync;
-  asserts agreement and tree validity at every stable point.
+  asserts agreement and tree validity at every stable point,
+* ``stress``    -- STRESS-style systematic exploration of arbitration
+  schedules: enumerate every LSA delivery/loss/event interleaving of a
+  small scenario, check the named invariants in every state, and shrink
+  any violation to a 1-minimal replayable counterexample
+  (``--replay`` re-runs a committed one; see docs/systematic-testing.md).
 """
 
 from __future__ import annotations
@@ -229,7 +234,108 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         with open(args.metrics, "w", encoding="utf-8") as fh:
             fh.write(report.prom)
         print(f"wrote metrics dump to {args.metrics}")
+    if not report.ok:
+        for name in sorted(set(report.violation_names)) or ["agreement"]:
+            print(f"FAILED invariant: {name}")
     return 0 if report.ok else 1
+
+
+def _cmd_stress(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.attach import attach_stress_metrics
+    from repro.stress import (
+        Counterexample,
+        StressOptions,
+        describe_step,
+        explore,
+        replay_violates,
+    )
+    from repro.workloads.stress import GATE_SCENARIOS, SCENARIOS, get_scenario
+
+    if args.list:
+        for name, scenario in sorted(SCENARIOS.items()):
+            print(f"{name} ({scenario.switches} switches): "
+                  f"{scenario.description}")
+        return 0
+
+    overrides = {}
+    if args.disable_m_vector:
+        overrides["ablate_member_stamp"] = True
+    if args.disable_degraded_repair:
+        overrides["ablate_degraded_repair"] = True
+
+    if args.replay:
+        ce = Counterexample.load(args.replay)
+        scenario = get_scenario(ce.scenario)
+        config = dict(ce.config)
+        config.update(overrides)
+        print(f"replaying {args.replay}: scenario {ce.scenario}, "
+              f"{len(ce.schedule)} steps, config {config or '{}'}")
+        for step in ce.schedule:
+            print(f"  {describe_step(step, scenario)}")
+        violated = replay_violates(
+            scenario, ce.schedule, config_overrides=config,
+            invariant=ce.invariant,
+        )
+        if violated:
+            print(f"FAILED invariant: {ce.invariant}")
+            return 1
+        print(f"invariant {ce.invariant!r} holds under this schedule")
+        return 0
+
+    names = args.scenario or list(GATE_SCENARIOS)
+    options = StressOptions(
+        strategy=args.strategy,
+        max_transitions=args.budget,
+        max_depth=args.max_depth,
+        loss_branching=args.loss_branching,
+        max_drops=args.max_drops,
+        max_counterexamples=args.max_counterexamples,
+        minimize=not args.no_minimize,
+        config_overrides=overrides,
+    )
+    registry = None
+    failed_invariants = []
+    not_exhaustive = []
+    for name in names:
+        scenario = get_scenario(name)
+        report = explore(scenario, options)
+        for line in report.summary_lines():
+            print(line)
+        registry = attach_stress_metrics(report, registry)
+        if not report.exhaustive:
+            not_exhaustive.append(name)
+        for ce in report.counterexamples:
+            failed_invariants.append(ce.invariant)
+            if args.out:
+                os.makedirs(args.out, exist_ok=True)
+                slug = ce.invariant.replace("-", "_")
+                path = os.path.join(args.out, f"{name}__{slug}.json")
+                ce.save(path)
+                print(f"wrote counterexample to {path}")
+        print()
+    if args.metrics and registry is not None:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(registry.to_prometheus())
+        print(f"wrote metrics dump to {args.metrics}")
+
+    if args.expect_counterexample:
+        if failed_invariants:
+            print(f"expected counterexample found "
+                  f"({', '.join(sorted(set(failed_invariants)))})")
+            return 0
+        print("FAILED: expected a counterexample, none found")
+        return 1
+    rc = 0
+    for name in sorted(set(failed_invariants)):
+        print(f"FAILED invariant: {name}")
+        rc = 1
+    if args.require_exhaustive and not_exhaustive:
+        print("FAILED exhaustiveness: budget or depth bound truncated "
+              + ", ".join(not_exhaustive))
+        rc = 1
+    return rc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -341,6 +447,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the fabric's metrics registry as Prometheus text",
     )
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "stress",
+        help="systematic state-space exploration of arbitration schedules",
+    )
+    p.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="scenario to explore (repeatable; default: the CI gate set)",
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    p.add_argument(
+        "--strategy",
+        choices=("dfs", "bfs", "guided"),
+        default="dfs",
+        help="exploration order (dfs/bfs exhaust, guided chases violations)",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=250_000,
+        help="max state transitions (replays included) per scenario",
+    )
+    p.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="truncate schedules beyond this many steps",
+    )
+    p.add_argument(
+        "--loss-branching",
+        action="store_true",
+        help="also branch on dropping each pending LSA",
+    )
+    p.add_argument(
+        "--max-drops",
+        type=int,
+        default=1,
+        help="max LSAs dropped along one schedule (with --loss-branching)",
+    )
+    p.add_argument(
+        "--max-counterexamples",
+        type=int,
+        default=1,
+        help="stop a scenario after this many counterexamples",
+    )
+    p.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="keep counterexample schedules as found (skip 1-minimization)",
+    )
+    p.add_argument(
+        "--disable-m-vector",
+        action="store_true",
+        help="ablate the membership-ordering vector M (should break)",
+    )
+    p.add_argument(
+        "--disable-degraded-repair",
+        action="store_true",
+        help="ablate degraded-tree repair on link-up (should break)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="DIR",
+        help="write minimized counterexamples as JSON into this directory",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write exploration counters as Prometheus text",
+    )
+    p.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="replay a counterexample JSON instead of exploring",
+    )
+    p.add_argument(
+        "--expect-counterexample",
+        action="store_true",
+        help="invert the exit code: succeed only if a violation was found",
+    )
+    p.add_argument(
+        "--require-exhaustive",
+        action="store_true",
+        help="fail unless every scenario's state space was exhausted",
+    )
+    p.set_defaults(func=_cmd_stress)
     return parser
 
 

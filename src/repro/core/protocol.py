@@ -51,6 +51,18 @@ class ProtocolConfig:
       when the installed topology already covers the event set),
     * ``ablate_re_gate`` -- drop the ``R >= E`` deferral (compute eagerly
       even when outstanding LSAs are known).
+
+    Deviation knobs (each disables one of the documented PR-4 protocol
+    deviations, so the systematic explorer of :mod:`repro.stress` can
+    re-derive the counterexample that forced it; test-only, default off):
+
+    * ``ablate_member_stamp`` -- drop the membership-ordering vector M:
+      membership LSAs apply only when they also advance R, so a reordered
+      link-event LSA that jumped R past an in-flight join/leave silently
+      discards the membership change,
+    * ``ablate_degraded_repair`` -- drop degraded-tree repair on link-up:
+      a recovered link triggers no re-proposal even when the installed
+      topology no longer spans the member set.
     """
 
     compute_time: ComputeTime = 1.0
@@ -59,6 +71,8 @@ class ProtocolConfig:
     ablate_withdrawal: bool = False
     ablate_rc_gate: bool = False
     ablate_re_gate: bool = False
+    ablate_member_stamp: bool = False
+    ablate_degraded_repair: bool = False
 
     def resolve_compute_time(self, state: McState) -> float:
         if callable(self.compute_time):
@@ -134,12 +148,18 @@ class DgmcNetwork:
         net: Network,
         config: Optional[ProtocolConfig] = None,
         sim: Optional[Simulator] = None,
+        transport=None,
     ) -> None:
         self.net = net
         self.config = config or ProtocolConfig()
         self.sim = sim or Simulator()
+        #: ``transport`` overrides the flooding fabric's delivery backend
+        #: (default: schedule on the kernel).  The systematic explorer
+        #: injects an intercepting transport here so every LSA delivery
+        #: becomes an externally chosen branch point.
         self.fabric = FloodingFabric(
-            self.sim, net, per_hop_delay=self.config.per_hop_delay
+            self.sim, net, per_hop_delay=self.config.per_hop_delay,
+            transport=transport,
         )
         self.connection_registry: Dict[int, ConnectionSpec] = {}
         self.routers: Dict[int, UnicastRouter] = bring_up_unicast(net, self.fabric)
@@ -352,15 +372,30 @@ class DgmcNetwork:
         unreachable, and restored connectivity is the only signal that the
         missing members may be reachable again -- or all active connections
         when ``reoptimize_on_link_up`` is set.
+
+        A recovery also affects every connection with a topology
+        computation *in flight* at the detector: its inputs were
+        snapshotted before the recovery, so the tree it is about to
+        install may be degraded even though the currently installed one
+        is fine.  Without this, a link that fails and recovers within one
+        Tc window installs a disconnected-image tree with no further
+        trigger, and the connection never spans its members again (found
+        by exhaustive exploration; see docs/systematic-testing.md).
         """
         if event.up:
             if self.config.reoptimize_on_link_up:
                 return sorted(detector.states)
+            if self.config.ablate_degraded_repair:
+                return []  # pre-deviation behavior: recovery is a non-event
+            inflight = {c.connection_id for c in detector.inflight_computes}
             return sorted(
                 connection_id
                 for connection_id, state in detector.states.items()
-                if state.installed is not None
-                and not state.installed.spans(state.member_set)
+                if connection_id in inflight
+                or (
+                    state.installed is not None
+                    and not state.installed.spans(state.member_set)
+                )
             )
         edge = tuple(sorted((event.u, event.v)))
         affected = []

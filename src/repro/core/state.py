@@ -107,6 +107,38 @@ class McState:
         """``R > C``: events exist that the installed topology misses."""
         return self.received.gt(self.current_stamp)
 
+    # -- canonicalization --------------------------------------------------------
+
+    def canonical(self) -> tuple:
+        """Hashable semantic fingerprint of this state.
+
+        Used by the systematic explorer (:mod:`repro.stress`) to collapse
+        symmetric interleavings: two interleavings that leave every switch
+        with component-wise equal vectors, the same membership view, and a
+        byte-identical installed topology are behaviorally equivalent and
+        explored once.  The installed topology is canonicalized through
+        the wire codec (members and edges sorted), so structurally equal
+        topologies fingerprint equally regardless of construction order.
+        """
+        from repro.core.wire import encode_topology
+
+        installed = (
+            encode_topology(self.installed) if self.installed is not None else None
+        )
+        return (
+            self.received.snapshot(),
+            self.expected.snapshot(),
+            self.current_stamp,
+            self.current_proposer,
+            self.member_stamp.snapshot(),
+            self.make_proposal_flag,
+            tuple(
+                (switch, tuple(sorted(roles)))
+                for switch, roles in sorted(self.members.items())
+            ),
+            installed,
+        )
+
     # -- install -----------------------------------------------------------------
 
     def install(

@@ -66,6 +66,26 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.lsr.flooding import FloodingFabric
 
 
+class _InflightCompute:
+    """Canonicalization record of one topology computation in flight.
+
+    The systematic explorer (:mod:`repro.stress`) must distinguish states
+    by what is *about to happen*, not only by the settled per-connection
+    vectors: a computation holding the CPU carries a members snapshot taken
+    at its start, and its completion (relative to pending LSA deliveries)
+    is a branch point.  ``acquired_at`` is the simulated time the CPU was
+    granted (``None`` while queued behind another computation); with a
+    fixed Tc it totally orders completions.
+    """
+
+    __slots__ = ("connection_id", "members", "acquired_at")
+
+    def __init__(self, connection_id: int, members: tuple) -> None:
+        self.connection_id = connection_id
+        self.members = members
+        self.acquired_at: Optional[float] = None
+
+
 class DgmcSwitch:
     """Per-switch D-GMC protocol engine."""
 
@@ -99,6 +119,9 @@ class DgmcSwitch:
         #: (R, E, C) snapshots of destroyed connections, keyed by id, so a
         #: recreated connection resumes its event counts (see McState).
         self._tombstones: Dict[int, tuple] = {}
+        #: Topology computations currently holding (or queued for) the CPU,
+        #: in start order; see :class:`_InflightCompute`.
+        self.inflight_computes: list[_InflightCompute] = []
         #: Diagnostics.
         self.computations = 0
         self.event_lsas_flooded = 0
@@ -182,11 +205,19 @@ class DgmcSwitch:
         members = dict(state.members)
         image = self.router.network_image()
         previous = state.installed
-        yield self.cpu.request()
+        inflight = _InflightCompute(
+            state.spec.connection_id, tuple(sorted(members))
+        )
+        self.inflight_computes.append(inflight)
         try:
-            yield Hold(self.config.resolve_compute_time(state))
+            yield self.cpu.request()
+            inflight.acquired_at = self.sim.now
+            try:
+                yield Hold(self.config.resolve_compute_time(state))
+            finally:
+                self.cpu.release()
         finally:
-            self.cpu.release()
+            self.inflight_computes.remove(inflight)
         self.computations += 1
         state.proposals_computed += 1
         if self.on_computation is not None:
@@ -302,22 +333,30 @@ class DgmcSwitch:
                 # resync-overtaken event LSAs harmless no-ops and lets R
                 # heal past gaps left by frames a partition swallowed.
                 idx = lsa.timestamp[lsa.source]
-                if idx > state.received[lsa.source]:
+                was_news = idx > state.received[lsa.source]
+                if was_news:
                     state.received[lsa.source] = idx
-                if (
-                    lsa.event in (McEvent.JOIN, McEvent.LEAVE)
-                    and idx > state.member_stamp[lsa.source]
-                ):
+                if lsa.event in (McEvent.JOIN, McEvent.LEAVE):
                     # Membership moves on its own M order, so a join
                     # arriving *after* a link event already jumped R is
                     # still applied.  V = link: membership unchanged; the
                     # topology change is learned via the unicast layer's
-                    # non-MC LSA.
-                    state.member_stamp[lsa.source] = idx
-                    if lsa.event is McEvent.JOIN:
-                        state.apply_join(lsa.source, lsa.role)
+                    # non-MC LSA.  ``ablate_member_stamp`` restores the
+                    # pre-deviation gate (membership applies only when the
+                    # LSA also advanced R) so the systematic explorer can
+                    # re-derive the counterexample that forced the M
+                    # vector (see docs/systematic-testing.md).
+                    if self.config.ablate_member_stamp:
+                        applies = was_news
                     else:
-                        state.apply_leave(lsa.source)
+                        applies = idx > state.member_stamp[lsa.source]
+                    if applies:
+                        if idx > state.member_stamp[lsa.source]:
+                            state.member_stamp[lsa.source] = idx
+                        if lsa.event is McEvent.JOIN:
+                            state.apply_join(lsa.source, lsa.role)
+                        else:
+                            state.apply_leave(lsa.source)
             state.expected.merge(lsa.timestamp)  # line 10
             if lsa.proposal is not None and stamp_geq(
                 lsa.timestamp, state.expected.snapshot()

@@ -27,8 +27,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.events import JoinEvent, LeaveEvent
-from repro.core.protocol import ProtocolConfig, check_agreement
-from repro.net.equiv import _canonical_tree_bytes
+from repro.core.protocol import ProtocolConfig
+from repro.net.invariants import (
+    AGREEMENT,
+    LSDB_COMPLETE,
+    Violation,
+    protocol_violations,
+)
 from repro.net.fabric import LiveConfig, LiveFabric
 from repro.net.faults import FaultPlan
 from repro.net.transport import RetransmitPolicy
@@ -184,6 +189,9 @@ class ChaosReport:
     #: Stable-point invariant checks that ran / the violations they found.
     checks: int = 0
     violations: List[str] = field(default_factory=list)
+    #: Stable invariant names of the violations, in the same order (see
+    #: :data:`repro.net.invariants.ALL_INVARIANTS`); the CLI reports these.
+    violation_names: List[str] = field(default_factory=list)
     #: Switches that were crashed and cold-restarted at least once.
     restarted: List[int] = field(default_factory=list)
     crash_count: int = 0
@@ -212,36 +220,33 @@ class ChaosReport:
         return lines
 
 
-def _stable_invariants(fabric: LiveFabric, connection_id: int, context: str) -> List[str]:
-    """The paper's correctness conditions, checked at a stable point."""
-    problems: List[str] = []
+def _record_violations(report: ChaosReport, found: List[Violation]) -> None:
+    for v in found:
+        report.violations.append(v.describe())
+        report.violation_names.append(v.invariant)
+
+
+def _stable_invariants(
+    fabric: LiveFabric, connection_id: int, context: str
+) -> List[Violation]:
+    """The paper's correctness conditions, checked at a stable point.
+
+    Delegates to the shared invariant suite (:mod:`repro.net.invariants`)
+    so the soak reports the same named invariants as the systematic
+    explorer; the live-only ``lsdb-complete`` check rides on top.
+    """
     states = fabric.states_for(connection_id)
-    ok, detail = check_agreement(connection_id, states)
-    if not ok:
-        problems.append(f"{context}: {detail}")
-    tree_bytes = _canonical_tree_bytes(states)
-    if len(set(tree_bytes.values())) > 1:
-        problems.append(f"{context}: installed trees differ on the wire")
-    if states:
-        ref = states[min(states)]
-        if ref.installed is not None:
-            for key, tree in ref.installed.trees:
-                if not tree.is_tree():
-                    problems.append(
-                        f"{context}: installed topology (key {key}) is not a tree"
-                    )
-            shared = ref.installed.shared_tree
-            if shared is not None and not shared.spans(ref.member_set):
-                problems.append(
-                    f"{context}: shared tree does not span members "
-                    f"{sorted(ref.member_set)}"
-                )
+    violations = protocol_violations(connection_id, states, context=context)
     for x, host in sorted(fabric.hosts.items()):
         if fabric.generations[x] > 1 and not host.router.lsdb.complete():
-            problems.append(
-                f"{context}: restarted switch {x} has an incomplete LSDB"
+            violations.append(
+                Violation(
+                    LSDB_COMPLETE,
+                    f"restarted switch {x} has an incomplete LSDB",
+                    context,
+                )
             )
-    return problems
+    return violations
 
 
 async def run_chaos_soak(settings: Optional[ChaosSettings] = None) -> ChaosReport:
@@ -296,23 +301,26 @@ async def run_chaos_soak(settings: Optional[ChaosSettings] = None) -> ChaosRepor
             await fabric.quiesce()
             if not fabric.partitioned and not fabric.crashed:
                 report.checks += 1
-                report.violations.extend(
+                _record_violations(
+                    report,
                     _stable_invariants(
                         fabric, cfg.connection_id, f"after [{action.describe()}]"
-                    )
+                    ),
                 )
         # Final settle: one extra recovery window so late link-up floods
         # and snapshot gossip fully drain before the last verdict.
         await asyncio.sleep(recovery_settle)
         await fabric.quiesce()
         report.checks += 1
-        report.violations.extend(
-            _stable_invariants(fabric, cfg.connection_id, "final")
+        _record_violations(
+            report, _stable_invariants(fabric, cfg.connection_id, "final")
         )
         ok, detail = fabric.agreement(cfg.connection_id)
         report.final_detail = detail
         if not ok:
-            report.violations.append(f"final: {detail}")
+            _record_violations(
+                report, [Violation(AGREEMENT, detail, "final")]
+            )
         states = fabric.states_for(cfg.connection_id)
         if states:
             report.final_members = tuple(sorted(states[min(states)].members))

@@ -26,9 +26,13 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.events import JoinEvent, LeaveEvent
 from repro.core.protocol import DgmcNetwork, ProtocolConfig
 from repro.core.state import McState
-from repro.core.wire import decode_topology, encode_topology
 from repro.net.fabric import LiveConfig, LiveFabric
 from repro.net.faults import FaultPlan
+
+# Canonical wire-byte encoding now lives in the shared invariant module
+# (the chaos soak and stress explorer use it too); the old private name is
+# kept as an alias for existing imports.
+from repro.net.invariants import canonical_tree_bytes as _canonical_tree_bytes
 from repro.topo.generators import waxman_network
 from repro.topo.graph import Network
 from repro.workloads.membership import sparse_schedule
@@ -112,25 +116,6 @@ class BackendResult:
     counters: Dict[str, float] = field(default_factory=dict)
     #: Prometheus text of the backend's metrics registry ("" if none).
     prom: str = ""
-
-
-def _canonical_tree_bytes(states: Dict[int, McState]) -> Dict[int, bytes]:
-    """Encode every installed topology through the real wire codec.
-
-    Round-trips each encoding (decode, re-encode) and asserts stability,
-    so a codec asymmetry can never masquerade as backend agreement.
-    """
-    trees: Dict[int, bytes] = {}
-    for x, state in states.items():
-        if state.installed is None:
-            trees[x] = b""
-            continue
-        data = encode_topology(state.installed)
-        assert encode_topology(decode_topology(data)) == data, (
-            f"wire codec round-trip unstable for switch {x}"
-        )
-        trees[x] = data
-    return trees
 
 
 def _members_of(states: Dict[int, McState]) -> Tuple[int, ...]:

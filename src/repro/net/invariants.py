@@ -1,0 +1,182 @@
+"""Named protocol invariants, shared by every correctness harness.
+
+The paper's correctness conditions for D-GMC are checked in three places:
+the chaos soak (:mod:`repro.net.chaos`) at every stable point, the
+simulated-vs-live equivalence harness (:mod:`repro.net.equiv`) at the end
+of a scenario, and the systematic state-space explorer
+(:mod:`repro.stress`) at every quiescent state it reaches.  This module is
+the single definition of those conditions so a violation is reported the
+same way everywhere: as a :class:`Violation` carrying a stable *invariant
+name* (what broke) and a human-readable detail (where and how).
+
+Invariant names (stable identifiers -- CLI exit messages, counterexample
+files, and regression tests key on them):
+
+* ``agreement`` -- all switches holding state for a connection agree on
+  the member list, the C stamp, and the installed topology
+  (:func:`repro.core.protocol.check_agreement`);
+* ``tree-bytes`` -- the installed topologies are byte-identical through
+  the real wire codec;
+* ``tree-structure`` -- every installed per-source/shared tree is acyclic
+  and connected (:meth:`~repro.trees.base.MulticastTree.is_tree`);
+* ``spans`` -- the installed shared tree spans the member set
+  (:meth:`~repro.trees.base.McTopology.spans`);
+* ``lsdb-complete`` -- a restarted switch holds a complete link-state
+  database (rebuilt by resync alone);
+* ``stale-install`` -- a switch replaced an installed topology with one
+  whose stamp is strictly dominated by it (a stale proposal won
+  arbitration; monitored at install time by the stress executor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.protocol import check_agreement
+from repro.core.state import McState
+from repro.core.wire import decode_topology, encode_topology
+
+AGREEMENT = "agreement"
+TREE_BYTES = "tree-bytes"
+TREE_STRUCTURE = "tree-structure"
+SPANS = "spans"
+LSDB_COMPLETE = "lsdb-complete"
+STALE_INSTALL = "stale-install"
+
+#: Every invariant name this module can emit (docs/tests enumerate these).
+ALL_INVARIANTS = (
+    AGREEMENT,
+    TREE_BYTES,
+    TREE_STRUCTURE,
+    SPANS,
+    LSDB_COMPLETE,
+    STALE_INSTALL,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant: a stable name plus a human-readable detail."""
+
+    invariant: str
+    detail: str
+    context: str = ""
+
+    def describe(self) -> str:
+        prefix = f"{self.context}: " if self.context else ""
+        return f"{prefix}{self.invariant}: {self.detail}"
+
+
+def canonical_tree_bytes(states: Dict[int, McState]) -> Dict[int, bytes]:
+    """Encode every installed topology through the real wire codec.
+
+    Round-trips each encoding (decode, re-encode) and asserts stability,
+    so a codec asymmetry can never masquerade as agreement.
+    """
+    trees: Dict[int, bytes] = {}
+    for x, state in states.items():
+        if state.installed is None:
+            trees[x] = b""
+            continue
+        data = encode_topology(state.installed)
+        assert encode_topology(decode_topology(data)) == data, (
+            f"wire codec round-trip unstable for switch {x}"
+        )
+        trees[x] = data
+    return trees
+
+
+def check_agreement_violations(
+    connection_id: int, states: Dict[int, McState], context: str = ""
+) -> List[Violation]:
+    """``agreement`` over a set of per-switch states."""
+    ok, detail = check_agreement(connection_id, states)
+    if not ok:
+        return [Violation(AGREEMENT, detail, context)]
+    return []
+
+
+def check_tree_bytes(
+    states: Dict[int, McState], context: str = ""
+) -> List[Violation]:
+    """``tree-bytes``: installed topologies byte-identical on the wire."""
+    tree_bytes = canonical_tree_bytes(states)
+    if len(set(tree_bytes.values())) > 1:
+        return [Violation(TREE_BYTES, "installed trees differ on the wire", context)]
+    return []
+
+
+def check_tree_structure(
+    states: Dict[int, McState], context: str = ""
+) -> List[Violation]:
+    """``tree-structure``: every installed tree acyclic and connected."""
+    problems: List[Violation] = []
+    for x, state in sorted(states.items()):
+        if state.installed is None:
+            continue
+        for key, tree in state.installed.trees:
+            if not tree.is_tree():
+                problems.append(
+                    Violation(
+                        TREE_STRUCTURE,
+                        f"switch {x}: installed topology (key {key}) is not a tree",
+                        context,
+                    )
+                )
+    return problems
+
+
+def check_spans(
+    states: Dict[int, McState],
+    context: str = "",
+    members: Optional[Iterable[int]] = None,
+) -> List[Violation]:
+    """``spans``: the reference switch's installed topology covers members.
+
+    ``members`` overrides the member set to check against (default: the
+    reference switch's own view).  Callers are responsible for gating this
+    check on reachability -- a topology computed while part of the
+    membership was unreachable legitimately fails to span it.
+    """
+    if not states:
+        return []
+    ref = states[min(states)]
+    if ref.installed is None:
+        return []
+    target = frozenset(members) if members is not None else ref.member_set
+    shared = ref.installed.shared_tree
+    if shared is not None:
+        if not shared.spans(target):
+            return [
+                Violation(
+                    SPANS,
+                    f"shared tree does not span members {sorted(target)}",
+                    context,
+                )
+            ]
+        return []
+    if target and not ref.installed.spans(target):
+        return [
+            Violation(
+                SPANS,
+                f"installed topology does not span members {sorted(target)}",
+                context,
+            )
+        ]
+    return []
+
+
+def protocol_violations(
+    connection_id: int,
+    states: Dict[int, McState],
+    context: str = "",
+    check_span: bool = True,
+) -> List[Violation]:
+    """The full stable-point suite over one connection's states."""
+    problems = check_agreement_violations(connection_id, states, context)
+    problems += check_tree_bytes(states, context)
+    problems += check_tree_structure(states, context)
+    if check_span:
+        problems += check_spans(states, context)
+    return problems

@@ -27,7 +27,11 @@ from typing import Optional
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["attach_network_metrics", "network_spf_cache_stats"]
+__all__ = [
+    "attach_network_metrics",
+    "attach_stress_metrics",
+    "network_spf_cache_stats",
+]
 
 #: Sample names the network collector maintains (shared with TrialMetrics).
 SPF_HITS = "spf_cache_hits_total"
@@ -44,6 +48,15 @@ LSA_DELIVERIES = "lsa_deliveries_total"
 EVENTS_DISPATCHED = "sim_events_dispatched_total"
 QUEUE_DEPTH = "sim_queue_depth"
 SIM_NOW = "sim_now"
+
+#: Sample names recorded per systematic-exploration run (repro stress).
+STRESS_STATES = "stress_states_total"
+STRESS_PRUNED = "stress_pruned_total"
+STRESS_TRANSITIONS = "stress_transitions_total"
+STRESS_COUNTEREXAMPLES = "stress_counterexamples_total"
+STRESS_TERMINALS = "stress_terminal_states_total"
+STRESS_EXHAUSTIVE = "stress_exhaustive"
+STRESS_MAX_DEPTH = "stress_max_depth"
 
 
 def _combined_cache_stats(network):
@@ -106,6 +119,56 @@ def attach_network_metrics(
                         ).set_total(comps() if callable(comps) else comps)
 
     reg.register_collector(_collect)
+    return reg
+
+
+def attach_stress_metrics(
+    report, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Record a :class:`~repro.stress.explore.StressReport` in a registry.
+
+    Unlike :func:`attach_network_metrics` this is a point-in-time record
+    (the exploration already finished), so the totals are set once rather
+    than re-sampled by a collector.  When the caller accumulates several
+    scenarios into one registry, counters add up; the ``stress_exhaustive``
+    gauge ANDs (drops to 0 as soon as any scenario was not exhausted) and
+    ``stress_max_depth`` keeps the maximum.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    states = reg.counter(
+        STRESS_STATES, "canonical states explored by repro stress"
+    )
+    pruned = reg.counter(
+        STRESS_PRUNED, "already-visited canonical states pruned"
+    )
+    transitions = reg.counter(
+        STRESS_TRANSITIONS, "state transitions executed (replays included)"
+    )
+    counterexamples = reg.counter(
+        STRESS_COUNTEREXAMPLES, "invariant-violating schedules found"
+    )
+    terminals = reg.counter(
+        STRESS_TERMINALS, "terminal (all events fired, quiescent) states"
+    )
+    snap = reg.snapshot()
+    states.set_total(snap.get(STRESS_STATES, 0) + report.states_explored)
+    pruned.set_total(snap.get(STRESS_PRUNED, 0) + report.pruned)
+    transitions.set_total(snap.get(STRESS_TRANSITIONS, 0) + report.transitions)
+    counterexamples.set_total(
+        snap.get(STRESS_COUNTEREXAMPLES, 0) + len(report.counterexamples)
+    )
+    terminals.set_total(snap.get(STRESS_TERMINALS, 0) + report.terminal_states)
+    reg.gauge(
+        STRESS_EXHAUSTIVE,
+        "1 if every recorded exploration exhausted its state space",
+    ).set(
+        1.0
+        if report.exhaustive and snap.get(STRESS_EXHAUSTIVE, 1.0)
+        else 0.0
+    )
+    reg.gauge(STRESS_MAX_DEPTH, "deepest schedule explored").set(
+        max(snap.get(STRESS_MAX_DEPTH, 0), report.max_depth_seen)
+    )
     return reg
 
 

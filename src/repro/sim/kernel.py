@@ -230,6 +230,43 @@ class Simulator:
             dispatched += 1
         return self._now
 
+    def run_instant(self, eps: float = 1e-9) -> int:
+        """Dispatch every event scheduled at the *current* instant.
+
+        Deterministic branch-point hook for the systematic explorer
+        (:mod:`repro.stress`): after an externally chosen action (an LSA
+        delivery, an injected event), the zero-delay cascade it triggers
+        -- process wake-ups, mailbox drains, flood bookkeeping -- runs to
+        completion while strictly-future events (topology-computation
+        completions) stay queued as further branch points.  Returns the
+        number of events dispatched.
+        """
+        dispatched = 0
+        anchor = self._now
+        while True:
+            nxt = self.peek()
+            if nxt is None or nxt > anchor + eps:
+                break
+            self.step()
+            dispatched += 1
+        return dispatched
+
+    def advance_to_next(self, eps: float = 1e-9) -> Optional[float]:
+        """Advance to the next scheduled instant and drain it entirely.
+
+        The explorer's ``advance`` transition: jump the clock to the
+        earliest pending event (deterministically -- ties broken by the
+        heap's ``(time, priority, seq)`` order), dispatch it, then drain
+        the zero-delay cascade at that instant via :meth:`run_instant`.
+        Returns the new simulated time, or ``None`` when nothing is
+        pending.
+        """
+        if self.peek() is None:
+            return None
+        self.step()
+        self.run_instant(eps)
+        return self._now
+
     def run_until_quiescent(
         self, idle_check: Callable[[], bool], max_time: float = float("inf")
     ) -> float:

@@ -1,0 +1,48 @@
+"""STRESS-style systematic state-space exploration of D-GMC arbitration.
+
+The chaos soak samples interleavings with a seed; this package
+*enumerates* them (Helmy/Estrin/Gupta's STRESS methodology, adapted to
+drive the real implementation): every pending LSA delivery, loss, and
+scenario event is a branch point, symmetric interleavings collapse under
+canonical state hashing, and violating schedules are minimized into
+replayable JSON counterexamples.  See docs/systematic-testing.md.
+"""
+
+from repro.stress.executor import (
+    InfeasibleStep,
+    PendingDelivery,
+    StressExecutor,
+    StressTransport,
+)
+from repro.stress.explore import (
+    STRATEGIES,
+    StressOptions,
+    StressReport,
+    explore,
+)
+from repro.stress.minimize import minimize_schedule, replay_violates
+from repro.stress.model import (
+    Counterexample,
+    ScenarioEvent,
+    Step,
+    StressScenario,
+    describe_step,
+)
+
+__all__ = [
+    "Counterexample",
+    "InfeasibleStep",
+    "PendingDelivery",
+    "STRATEGIES",
+    "ScenarioEvent",
+    "Step",
+    "StressExecutor",
+    "StressOptions",
+    "StressReport",
+    "StressScenario",
+    "StressTransport",
+    "describe_step",
+    "explore",
+    "minimize_schedule",
+    "replay_violates",
+]

@@ -1,0 +1,99 @@
+"""Counterexample minimization: shrink a violating schedule to 1-minimal.
+
+A schedule found by the explorer carries everything it took to *reach*
+the violation, including deliveries and advances that played no causal
+role.  The minimizer shrinks it until removing any single step makes the
+violation disappear (1-minimality), which is what turns a machine-found
+interleaving into a human-readable race.
+
+Replay semantics during minimization: apply the candidate schedule from a
+fresh executor, then *flush* -- deterministically FIFO-deliver every
+remaining pending LSA and advance to full quiescence -- and evaluate the
+target invariant at the settled terminal state.  The flush is what allows
+steps to be dropped at all: a removed delivery still happens eventually,
+just in the benign FIFO order, so only steps whose *specific ordering*
+causes the violation survive.  A candidate whose replay hits an
+:class:`~repro.stress.executor.InfeasibleStep` (a causally required step
+was removed, e.g. the delivery of an LSA that is no longer flooded)
+counts as non-violating, so causal prefixes are preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.stress.executor import InfeasibleStep, StressExecutor
+from repro.stress.model import Step, StressScenario
+
+
+def replay_violates(
+    scenario: StressScenario,
+    schedule: List[Step],
+    config_overrides: Optional[Dict[str, bool]] = None,
+    invariant: Optional[str] = None,
+    loss_branching: bool = False,
+    max_drops: int = 1,
+) -> bool:
+    """Replay ``schedule`` + flush; does ``invariant`` (or anything) break?"""
+    ex = StressExecutor(
+        scenario,
+        scenario.make_config(**(config_overrides or {})),
+        loss_branching=loss_branching,
+        max_drops=max_drops,
+    )
+    try:
+        ex.replay(schedule)
+    except InfeasibleStep:
+        return False
+    ex.flush()
+    violations = ex.check_invariants()
+    if invariant is None:
+        return bool(violations)
+    return any(v.invariant == invariant for v in violations)
+
+
+def minimize_schedule(
+    scenario: StressScenario,
+    schedule: List[Step],
+    config_overrides: Optional[Dict[str, bool]] = None,
+    invariant: Optional[str] = None,
+    loss_branching: bool = False,
+    max_drops: int = 1,
+) -> List[Step]:
+    """Shrink a violating schedule to a 1-minimal event sequence.
+
+    Two phases: first find the shortest violating *prefix* (the flush
+    completes whatever the prefix set in motion), then greedily delete
+    single steps until no single deletion preserves the violation.
+    Returns the input unchanged if it does not violate to begin with.
+    """
+
+    def violates(candidate: List[Step]) -> bool:
+        return replay_violates(
+            scenario,
+            candidate,
+            config_overrides=config_overrides,
+            invariant=invariant,
+            loss_branching=loss_branching,
+            max_drops=max_drops,
+        )
+
+    if not violates(schedule):
+        return list(schedule)
+    current = list(schedule)
+    for length in range(len(current)):
+        if violates(current[:length]):
+            current = current[:length]
+            break
+    changed = True
+    while changed:
+        changed = False
+        i = 0
+        while i < len(current):
+            trial = current[:i] + current[i + 1 :]
+            if violates(trial):
+                current = trial
+                changed = True
+            else:
+                i += 1
+    return current

@@ -1,0 +1,170 @@
+"""The explorer's vocabulary: scenarios, schedule steps, counterexamples.
+
+A *scenario* fixes everything the exploration does not branch on: the
+physical topology, the initial (sequentially converged) member set, and a
+small pool of *branchable events* -- joins, leaves, and link changes whose
+firing order, relative to every pending LSA delivery, is the explorer's
+choice.  A *schedule* is one resolved interleaving: a sequence of
+:class:`Step` transitions.  A *counterexample* is a schedule that drives
+the protocol into a violated invariant, serialized as replayable JSON so
+it can be committed as a regression test.
+
+Steps (the transition alphabet):
+
+* ``("event", i)``   -- fire scenario event ``i`` at the current instant;
+* ``("deliver", s)`` -- deliver the pending LSA with send sequence ``s``;
+* ``("drop", s)``    -- lose that LSA instead (loss branching only);
+* ``("advance",)``   -- advance the kernel to its next scheduled instant
+  (completes the earliest in-flight topology computation).
+
+Send sequence numbers are assigned by a deterministic global counter at
+flood time, and replays are bit-for-bit identical, so a step sequence
+uniquely identifies an execution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.events import JoinEvent, LeaveEvent, LinkEvent
+from repro.core.protocol import ProtocolConfig
+from repro.topo.graph import Network
+
+#: A schedule step, e.g. ``("event", 0)`` or ``("advance",)``.
+Step = Tuple
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One branchable event of a scenario.
+
+    ``kind`` is ``join`` / ``leave`` / ``link``.  For link events,
+    ``switch`` is the detector and ``(u, v, up)`` name the link change.
+    ``after`` lists indices of scenario events that must have fired first
+    (physical feasibility: a link cannot recover before it fails).
+    """
+
+    kind: str
+    switch: int
+    u: int = -1
+    v: int = -1
+    up: bool = True
+    after: Tuple[int, ...] = ()
+
+    def to_event(self, connection_id: int):
+        if self.kind == "join":
+            return JoinEvent(self.switch, connection_id)
+        if self.kind == "leave":
+            return LeaveEvent(self.switch, connection_id)
+        if self.kind == "link":
+            return LinkEvent(self.switch, self.u, self.v, up=self.up)
+        raise ValueError(f"unknown scenario event kind {self.kind!r}")
+
+    def describe(self) -> str:
+        if self.kind == "link":
+            arrow = "up" if self.up else "down"
+            return f"link({self.u},{self.v}) {arrow} @sw{self.switch}"
+        return f"{self.kind}({self.switch})"
+
+
+@dataclass(frozen=True)
+class StressScenario:
+    """Everything one exploration run is parameterized by."""
+
+    name: str
+    description: str
+    switches: int
+    #: ``(u, v, delay)`` triples.
+    links: Tuple[Tuple[int, int, float], ...]
+    #: Joined sequentially (to quiescence each) before exploration starts.
+    initial_members: Tuple[int, ...]
+    events: Tuple[ScenarioEvent, ...]
+    connection_id: int = 1
+    compute_time: float = 1.0
+    per_hop_delay: float = 0.1
+
+    def build_net(self) -> Network:
+        net = Network(self.switches, name=self.name)
+        for u, v, delay in self.links:
+            net.add_link(u, v, delay=delay)
+        return net
+
+    def make_config(self, **overrides) -> ProtocolConfig:
+        return ProtocolConfig(
+            compute_time=self.compute_time,
+            per_hop_delay=self.per_hop_delay,
+            **overrides,
+        )
+
+
+def steps_to_json(schedule: List[Step]) -> List[List]:
+    return [list(step) for step in schedule]
+
+
+def steps_from_json(raw: List[List]) -> List[Step]:
+    out: List[Step] = []
+    for item in raw:
+        if not item or item[0] not in ("event", "deliver", "drop", "advance"):
+            raise ValueError(f"malformed schedule step {item!r}")
+        out.append(tuple(item))
+    return out
+
+
+def describe_step(step: Step, scenario: Optional[StressScenario] = None) -> str:
+    if step[0] == "event":
+        if scenario is not None and 0 <= step[1] < len(scenario.events):
+            return f"event[{step[1]}] {scenario.events[step[1]].describe()}"
+        return f"event[{step[1]}]"
+    if step[0] == "advance":
+        return "advance (complete earliest computation)"
+    return f"{step[0]} lsa#{step[1]}"
+
+
+@dataclass
+class Counterexample:
+    """A violating schedule, replayable from the named scenario."""
+
+    scenario: str
+    invariant: str
+    detail: str
+    schedule: List[Step]
+    #: ProtocolConfig field overrides the violation was found under
+    #: (e.g. ``{"ablate_member_stamp": true}``).
+    config: Dict[str, bool] = field(default_factory=dict)
+    minimized: bool = False
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "scenario": self.scenario,
+                "invariant": self.invariant,
+                "detail": self.detail,
+                "config": self.config,
+                "minimized": self.minimized,
+                "schedule": steps_to_json(self.schedule),
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Counterexample":
+        raw = json.loads(text)
+        return cls(
+            scenario=raw["scenario"],
+            invariant=raw["invariant"],
+            detail=raw.get("detail", ""),
+            schedule=steps_from_json(raw["schedule"]),
+            config={k: bool(v) for k, v in raw.get("config", {}).items()},
+            minimized=bool(raw.get("minimized", False)),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Counterexample":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

@@ -1,0 +1,157 @@
+"""The curated scenarios the systematic explorer runs on.
+
+Each scenario is designed around one arbitration hazard; the two race
+scenarios are small enough to explore exhaustively (the CI gate asserts
+exhaustion), the others run under a transition budget:
+
+* ``membership-race`` -- the hazard that forced the membership-ordering
+  vector M: a leave and a link failure fire back-to-back at the same
+  switch, and the link-event LSA (higher event index) can overtake the
+  leave LSA in flight.  A receiver applying membership only "when the LSA
+  advances R" then silently discards the leave -- member lists diverge
+  forever.  With the M vector the reordered leave still applies.
+* ``degraded-repair`` -- the hazard that forced degraded-tree repair on
+  link-up: the only path to a member fails, the re-proposed tree
+  legitimately omits the unreachable member, and when the link recovers
+  nothing re-proposes (the paper treats recovery as a non-event) --
+  the installed tree permanently fails ``spans``.
+* ``triple-conflict`` -- three concurrent joins on a triangle: the
+  maximal 3-switch proposal-conflict workload (equal-stamp arbitration,
+  withdrawal, triggered proposals).  Its state space exceeds 5M
+  transitions, so the CI gate explores it under a budget in
+  deterministic DFS order rather than to exhaustion.
+* ``ring4-churn`` / ``mesh5-link-storm`` -- 4- and 5-switch nightly
+  scenarios: churn and link flaps on topologies with redundant paths,
+  too large for exhaustion, explored under budget (guided or bounded
+  DFS) with loss branching enabled in the nightly workflow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.stress.model import ScenarioEvent, StressScenario
+
+#: Exhaustively explored in the CI gate (3 switches each).
+GATE_SCENARIOS: Tuple[str, ...] = (
+    "membership-race",
+    "degraded-repair",
+    "triple-conflict",
+)
+
+#: Budget-bounded nightly scenarios (4-5 switches).
+DEEP_SCENARIOS: Tuple[str, ...] = ("ring4-churn", "mesh5-link-storm")
+
+
+def _triangle(
+    name: str,
+    description: str,
+    initial_members: Tuple[int, ...],
+    events: Tuple[ScenarioEvent, ...],
+) -> StressScenario:
+    return StressScenario(
+        name=name,
+        description=description,
+        switches=3,
+        links=((0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)),
+        initial_members=initial_members,
+        events=events,
+    )
+
+
+MEMBERSHIP_RACE = _triangle(
+    "membership-race",
+    "leave(0) races its own link(0,2) failure; the link LSA can overtake "
+    "the leave LSA at switch 2 (re-derives the M-vector deviation)",
+    initial_members=(0, 2),
+    events=(
+        ScenarioEvent("leave", 0),
+        ScenarioEvent("link", 0, u=0, v=2, up=False),
+    ),
+)
+
+DEGRADED_REPAIR = StressScenario(
+    name="degraded-repair",
+    description="the only path to member 2 fails and recovers; without "
+    "degraded-tree repair the recovery is a non-event and the installed "
+    "tree never spans the members again (re-derives the link-up repair "
+    "deviation)",
+    switches=3,
+    links=((0, 1, 1.0), (1, 2, 1.0)),  # a line: (1,2) is a bridge
+    initial_members=(0, 2),
+    events=(
+        ScenarioEvent("link", 1, u=1, v=2, up=False),
+        ScenarioEvent("link", 1, u=1, v=2, up=True, after=(0,)),
+    ),
+)
+
+TRIPLE_CONFLICT = _triangle(
+    "triple-conflict",
+    "three concurrent joins on a triangle: maximal 3-switch proposal "
+    "conflict (equal stamps, withdrawal, triggered proposals)",
+    initial_members=(),
+    events=(
+        ScenarioEvent("join", 0),
+        ScenarioEvent("join", 1),
+        ScenarioEvent("join", 2),
+    ),
+)
+
+RING4_CHURN = StressScenario(
+    name="ring4-churn",
+    description="membership churn while a ring link flaps: reordering "
+    "across the two ring directions (nightly, budget-bounded)",
+    switches=4,
+    links=((0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)),
+    initial_members=(0, 2),
+    events=(
+        ScenarioEvent("join", 3),
+        ScenarioEvent("leave", 0),
+        ScenarioEvent("link", 1, u=1, v=2, up=False),
+        ScenarioEvent("link", 1, u=1, v=2, up=True, after=(2,)),
+    ),
+)
+
+MESH5_LINK_STORM = StressScenario(
+    name="mesh5-link-storm",
+    description="two link failures and a join on a 5-switch mesh: "
+    "concurrent detectors flooding conflicting proposals (nightly, "
+    "budget-bounded)",
+    switches=5,
+    links=(
+        (0, 1, 1.0),
+        (1, 2, 1.0),
+        (2, 3, 1.0),
+        (3, 4, 1.0),
+        (0, 4, 1.0),
+        (1, 3, 1.0),
+    ),
+    initial_members=(0, 2, 4),
+    events=(
+        ScenarioEvent("join", 3),
+        ScenarioEvent("link", 1, u=1, v=3, up=False),
+        ScenarioEvent("link", 3, u=3, v=4, up=False),
+        ScenarioEvent("link", 3, u=3, v=4, up=True, after=(2,)),
+    ),
+)
+
+SCENARIOS: Dict[str, StressScenario] = {
+    s.name: s
+    for s in (
+        MEMBERSHIP_RACE,
+        DEGRADED_REPAIR,
+        TRIPLE_CONFLICT,
+        RING4_CHURN,
+        MESH5_LINK_STORM,
+    )
+}
+
+
+def get_scenario(name: str) -> StressScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stress scenario {name!r} "
+            f"(available: {', '.join(sorted(SCENARIOS))})"
+        ) from None

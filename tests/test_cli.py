@@ -27,7 +27,9 @@ class TestHelp:
         assert "repro" in capsys.readouterr().out
 
     @pytest.mark.parametrize(
-        "command", ["figures", "compare", "trace", "profile", "hierarchy", "live"]
+        "command",
+        ["figures", "compare", "trace", "profile", "hierarchy", "live",
+         "chaos", "stress"],
     )
     def test_subcommand_help_exits_zero(self, command, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -39,7 +41,8 @@ class TestHelp:
         with pytest.raises(SystemExit):
             main(["--help"])
         out = capsys.readouterr().out
-        for command in ("figures", "compare", "trace", "profile", "hierarchy", "live"):
+        for command in ("figures", "compare", "trace", "profile", "hierarchy",
+                        "live", "chaos", "stress"):
             assert command in out
 
 
@@ -71,3 +74,115 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 6" in out and "Figure 8" in out
         assert " NO" not in out
+
+
+class TestStressCommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["stress", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("membership-race", "degraded-repair", "triple-conflict",
+                     "ring4-churn", "mesh5-link-storm"):
+            assert name in out
+
+    def test_clean_run_exits_zero(self, capsys, tmp_path):
+        metrics = tmp_path / "stress.prom"
+        code = main(
+            ["stress", "--scenario", "membership-race",
+             "--require-exhaustive", "--metrics", str(metrics)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no counterexamples" in out
+        assert "FAILED" not in out
+        text = metrics.read_text()
+        assert "stress_states_total" in text
+        assert "stress_pruned_total" in text
+        assert "stress_exhaustive 1" in text
+
+    def test_violation_exits_nonzero_and_names_invariant(self, capsys):
+        code = main(
+            ["stress", "--scenario", "membership-race", "--disable-m-vector"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "COUNTEREXAMPLE agreement" in out
+        assert "FAILED invariant: agreement" in out
+
+    def test_expect_counterexample_inverts_exit_code(self, capsys, tmp_path):
+        code = main(
+            ["stress", "--scenario", "degraded-repair",
+             "--disable-degraded-repair", "--expect-counterexample",
+             "--out", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "expected counterexample found (spans)" in out
+        written = list(tmp_path.glob("*.json"))
+        assert len(written) == 1
+
+    def test_replay_committed_counterexample(self, capsys):
+        import glob
+        import os
+
+        path = sorted(
+            glob.glob(
+                os.path.join(
+                    os.path.dirname(__file__), "data", "stress", "*.json"
+                )
+            )
+        )[0]
+        code = main(["stress", "--replay", path])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED invariant:" in out
+
+    def test_budget_violation_fails_require_exhaustive(self, capsys):
+        code = main(
+            ["stress", "--scenario", "membership-race", "--budget", "10",
+             "--require-exhaustive"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED exhaustiveness" in out
+
+
+class TestChaosCommand:
+    def test_violations_name_their_invariant(self, capsys, monkeypatch):
+        from repro.net import chaos as chaos_mod
+        from repro.net.chaos import ChaosReport, ChaosSettings
+
+        report = ChaosReport(
+            settings=ChaosSettings(switches=4, seed=1, actions=1),
+            schedule=["crash 0"],
+            checks=2,
+            violations=["final: agreement: member list mismatch"],
+            violation_names=["agreement"],
+        )
+        monkeypatch.setattr(
+            chaos_mod, "run_chaos_soak_sync", lambda settings: report
+        )
+        code = main(
+            ["chaos", "--switches", "4", "--actions", "1", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED invariant: agreement" in out
+
+    def test_clean_soak_exits_zero(self, capsys, monkeypatch):
+        from repro.net import chaos as chaos_mod
+        from repro.net.chaos import ChaosReport, ChaosSettings
+
+        report = ChaosReport(
+            settings=ChaosSettings(switches=4, seed=1, actions=1),
+            schedule=["join 1"],
+            checks=2,
+        )
+        monkeypatch.setattr(
+            chaos_mod, "run_chaos_soak_sync", lambda settings: report
+        )
+        code = main(
+            ["chaos", "--switches", "4", "--actions", "1", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FAILED" not in out
