@@ -31,6 +31,12 @@ Benchmarks:
   on the churn+failure workload the repairs must actually engage
   (``ispf_repairs > 0``) and spend >= 2x fewer edge relaxations than
   full recomputation at n = 100.
+* ``convergence_slo`` (``--mode convergence_slo`` only) -- live-runtime
+  convergence SLOs: a 12-switch loopback deployment runs joins, a
+  failure/repair cycle on an installed-tree edge, and a leave; the
+  causal SLO tracker must report non-zero install-latency and
+  failure-repair-window histograms, and their p50/p99 are gated (with
+  generous latency tolerance) against the committed baseline.
 
 Every report embeds the process-wide metrics registry's sample deltas
 (``"metrics"``), and each run also writes ``TRACE_<mode>.json`` (Chrome
@@ -94,10 +100,15 @@ MODES: Dict[str, tuple] = {
     # The incremental-SPF invariant gate: small size for breadth, n=100
     # because that is where the acceptance criterion measures the win.
     "ispf": ((20, 100), 1),
+    # The live-runtime convergence SLO gate (real sockets, wall clock).
+    "convergence_slo": ((12,), 1),
 }
 
 #: Benchmarks that only run under --mode ispf (and via --only).
 ISPF_BENCHMARKS = ("ispf_churn", "ispf_failure_churn")
+
+#: Benchmarks that only run under --mode convergence_slo (and via --only).
+CONVERGENCE_BENCHMARKS = ("convergence_slo",)
 
 
 # -- benchmark bodies --------------------------------------------------------
@@ -442,6 +453,85 @@ def bench_ispf_failure_churn(sizes, graphs) -> Dict[str, object]:
     }
 
 
+async def _slo_scenario(n: int, seed: int) -> Dict[str, object]:
+    """One live convergence-SLO trial: joins, tree-edge fail/repair, leave.
+
+    Returns the SLO tracker's readings.  Wall latencies are real loopback
+    UDP round trips (barrier pacing, zero injected loss), so the p50/p99
+    are noisy across machines -- the baseline gate uses a dedicated
+    latency tolerance (see :data:`LATENCY_KEYS`).
+    """
+    import random
+
+    from repro.core.events import LinkEvent
+    from repro.net.fabric import LiveConfig, LiveFabric
+
+    rng = random.Random(seed)
+    net = waxman_network(n, rng)
+    fabric = LiveFabric(net, ProtocolConfig(), LiveConfig())
+    fabric.register_symmetric(1)
+    members = sorted(rng.sample(range(n), min(5, n)))
+    try:
+        await fabric.start()
+        for member in members:
+            fabric.hosts[member].fire_membership(JoinEvent(member, 1))
+            await fabric.quiesce()
+        # Fail (then repair) an edge of the *installed* shared tree, so
+        # the link-down provably blackholes the connection and the SLO
+        # tracker opens a failure-to-repair chain.
+        state = fabric.states_for(1).get(members[0])
+        edges = (
+            sorted(state.installed.all_edges())
+            if state is not None and state.installed is not None
+            else []
+        )
+        if edges:
+            u, v = edges[0]
+            fabric.inject(LinkEvent(u, u, v, up=False), at=0.0)
+            fabric.inject(LinkEvent(u, u, v, up=True), at=1.0)
+            await fabric.run()
+        fabric.hosts[members[-1]].fire_membership(
+            LeaveEvent(members[-1], 1)
+        )
+        await fabric.quiesce()
+        slo = fabric.slo
+        samples = fabric.metrics.snapshot()
+        control_frames = {
+            name[len("slo_control_frames_"):-len("_total")]: value
+            for name, value in samples.items()
+            if name.startswith("slo_control_frames_") and value > 0
+        }
+
+        def ms(histogram, q: float) -> float:
+            return round(histogram.quantile(q) * 1e3, 3)
+
+        return {
+            "switches": n,
+            "members": len(members),
+            "tree_edge_failed": bool(edges),
+            "install_count": slo.install_latency.count,
+            "install_p50_ms": ms(slo.install_latency, 0.5),
+            "install_p99_ms": ms(slo.install_latency, 0.99),
+            "repair_count": slo.repair_latency.count,
+            "repair_p50_ms": ms(slo.repair_latency, 0.5),
+            "repair_p99_ms": ms(slo.repair_latency, 0.99),
+            "resync_count": slo.resync_duration.count,
+            "never_converged": slo.never_converged.value,
+            "zero_member_events": slo.zero_member_events.value,
+            "control_frames": control_frames,
+        }
+    finally:
+        await fabric.shutdown()
+
+
+def bench_convergence_slo(sizes, graphs) -> Dict[str, object]:
+    """Live-runtime convergence SLOs measured through the causal tracker."""
+    import asyncio
+
+    n = max(sizes)
+    return asyncio.run(_slo_scenario(n, seed=1996))
+
+
 BENCHMARKS: Dict[str, Callable] = {
     "exp1_churn": bench_exp1_churn,
     "exp2_churn": bench_exp2_churn,
@@ -450,6 +540,7 @@ BENCHMARKS: Dict[str, Callable] = {
     "tracing_overhead": bench_tracing_overhead,
     "ispf_churn": bench_ispf_churn,
     "ispf_failure_churn": bench_ispf_failure_churn,
+    "convergence_slo": bench_convergence_slo,
 }
 
 #: Keys gated with --count-tolerance when present in both runs (wall time
@@ -461,6 +552,19 @@ COUNTER_KEYS = (
     "events",
     "relaxations_ispf",
 )
+
+#: Wall-latency keys (milliseconds) gated with a dedicated, generous
+#: tolerance: allowed = base * (1 + LATENCY_TOLERANCE) + LATENCY_GRACE_MS.
+#: Loopback UDP latencies swing hard across CI machines, so the gate only
+#: catches order-of-magnitude convergence regressions, not jitter.
+LATENCY_KEYS = (
+    "install_p50_ms",
+    "install_p99_ms",
+    "repair_p50_ms",
+    "repair_p99_ms",
+)
+LATENCY_TOLERANCE = 1.5
+LATENCY_GRACE_MS = 150.0
 
 
 # -- run / report ------------------------------------------------------------
@@ -477,7 +581,10 @@ def run_benchmarks(mode: str, only: Optional[List[str]] = None) -> Dict[str, obj
         elif mode == "ispf":
             if name not in ISPF_BENCHMARKS:
                 continue
-        elif name in ISPF_BENCHMARKS:
+        elif mode == "convergence_slo":
+            if name not in CONVERGENCE_BENCHMARKS:
+                continue
+        elif name in ISPF_BENCHMARKS or name in CONVERGENCE_BENCHMARKS:
             continue
         start = time.perf_counter()
         record = fn(sizes, graphs)
@@ -592,6 +699,28 @@ def check_invariants(report: Dict[str, object]) -> List[str]:
                 "ispf_failure_churn: relaxation reduction "
                 f"{fc['relaxation_reduction']:.2f}x < 2.0x"
             )
+    slo = benches.get("convergence_slo")
+    if slo is not None:
+        if slo["install_count"] <= 0:
+            failures.append(
+                "convergence_slo: install-latency histogram is empty -- "
+                "no membership-change chain ever converged"
+            )
+        if not slo["tree_edge_failed"]:
+            failures.append(
+                "convergence_slo: no installed-tree edge was found to "
+                "fail -- the repair scenario never ran"
+            )
+        elif slo["repair_count"] <= 0:
+            failures.append(
+                "convergence_slo: failure-repair-window histogram is "
+                "empty -- the link-down chain never converged"
+            )
+        if slo["install_p99_ms"] < slo["install_p50_ms"]:
+            failures.append(
+                "convergence_slo: install p99 < p50 -- histogram "
+                "quantile math is broken"
+            )
     return failures
 
 
@@ -656,6 +785,16 @@ def compare_to_baseline(
                 failures.append(
                     f"{name}: {key} {record[key]} exceeds baseline "
                     f"{base[key]} by more than {count_tolerance:.0%}"
+                )
+        for key in LATENCY_KEYS:
+            if key not in record or key not in base:
+                continue
+            limit = base[key] * (1.0 + LATENCY_TOLERANCE) + LATENCY_GRACE_MS
+            if record[key] > limit:
+                failures.append(
+                    f"{name}: {key} {record[key]:.1f}ms exceeds baseline "
+                    f"{base[key]:.1f}ms beyond the latency tolerance "
+                    f"(limit {limit:.1f}ms)"
                 )
     return failures
 

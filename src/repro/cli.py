@@ -23,7 +23,10 @@ Commands:
   schedules: enumerate every LSA delivery/loss/event interleaving of a
   small scenario, check the named invariants in every state, and shrink
   any violation to a 1-minimal replayable counterexample
-  (``--replay`` re-runs a committed one; see docs/systematic-testing.md).
+  (``--replay`` re-runs a committed one; see docs/systematic-testing.md),
+* ``obs merge`` -- fuse per-host JSONL traces (``clock_sync``
+  epoch-aligned) into one cross-host Chrome trace with causal flow
+  arrows intact (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -177,17 +180,42 @@ def _cmd_hierarchy(args: argparse.Namespace) -> int:
 
 
 def _cmd_live(args: argparse.Namespace) -> int:
+    import contextlib
+    import os
+
     from repro.net.equiv import (
         check_equivalence,
         make_scenario,
         run_discrete,
         run_live,
     )
+    from repro.obs.merge import export_host_traces, merge_traces
+    from repro.obs.tracer import RingBufferSink, Tracer, use_tracer
 
     scenario = make_scenario(
         switches=args.switches, seed=args.seed, events=args.events
     )
-    result = run_live(scenario, loss=args.loss, fault_seed=args.fault_seed)
+    tracer = None
+    if args.trace_dir:
+        tracer = Tracer(enabled=True, process_name=f"live-s{args.seed}")
+        tracer.add_sink(RingBufferSink(200_000))
+    scope = (
+        use_tracer(tracer) if tracer is not None else contextlib.nullcontext()
+    )
+    with scope:
+        result = run_live(scenario, loss=args.loss, fault_seed=args.fault_seed)
+    if tracer is not None:
+        paths = export_host_traces(
+            tracer, args.trace_dir, prefix=f"live_s{args.seed}"
+        )
+        for path in paths:
+            print(f"wrote host trace to {path}")
+        if paths:
+            merged = os.path.join(
+                args.trace_dir, f"live_s{args.seed}_merged_trace.json"
+            )
+            merge_traces(paths, out_path=merged)
+            print(f"wrote merged cross-host trace to {merged}")
     print(
         f"live run: {scenario.net.n} switches over loopback UDP, "
         f"{len(scenario.timeline)} events, loss={args.loss:g}"
@@ -221,6 +249,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         actions=args.actions,
         loss=args.loss,
         duplicate_rate=args.duplicate_rate,
+        reorder=args.reorder,
+        trace_dir=args.trace_dir,
+        flight_dir=args.flight_dir,
+        ablate_member_stamp=args.disable_m_vector,
     )
     report = run_chaos_soak_sync(settings)
     for line in report.summary_lines():
@@ -234,6 +266,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         with open(args.metrics, "w", encoding="utf-8") as fh:
             fh.write(report.prom)
         print(f"wrote metrics dump to {args.metrics}")
+    for path in report.trace_files:
+        print(f"wrote host trace to {path}")
+    if report.merged_trace:
+        print(f"wrote merged cross-host trace to {report.merged_trace}")
+    for path in report.flight_files:
+        print(f"wrote flight-recorder artifact to {path}")
+    if args.expect_violation:
+        if report.violations:
+            print("expected violation observed "
+                  f"({', '.join(sorted(set(report.violation_names)))})")
+            return 0
+        print("FAILED: expected a violation, none observed")
+        return 1
     if not report.ok:
         for name in sorted(set(report.violation_names)) or ["agreement"]:
             print(f"FAILED invariant: {name}")
@@ -338,6 +383,25 @@ def _cmd_stress(args: argparse.Namespace) -> int:
     return rc
 
 
+def _cmd_obs_merge(args: argparse.Namespace) -> int:
+    from repro.obs.merge import MergeError, merge_traces
+
+    try:
+        trace = merge_traces(args.traces, out_path=args.out)
+    except (MergeError, OSError) as exc:
+        print(f"merge failed: {exc}")
+        return 1
+    events = trace["traceEvents"]
+    pids = {e.get("pid") for e in events if e.get("ph") != "M"}
+    flows = sum(1 for e in events if e.get("ph") in ("s", "f"))
+    print(
+        f"merged {len(args.traces)} trace files: {len(events)} events "
+        f"across {len(pids)} host lanes ({flows} causal flow events)"
+    )
+    print(f"wrote merged Chrome trace to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -416,6 +480,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the transport's metrics registry as Prometheus text",
     )
+    p.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="enable causal tracing; write per-host JSONL traces plus a "
+        "merged cross-host Chrome trace into this directory",
+    )
     p.set_defaults(func=_cmd_live)
 
     p = sub.add_parser(
@@ -442,9 +512,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="injected datagram duplication probability (0..1)",
     )
     p.add_argument(
+        "--reorder",
+        type=float,
+        default=0.0,
+        help="probability a frame is held back ~50ms so later frames "
+        "overtake it (0..1; the race actions' reordering dial)",
+    )
+    p.add_argument(
         "--metrics",
         metavar="PATH",
         help="write the fabric's metrics registry as Prometheus text",
+    )
+    p.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="enable causal tracing; write per-host JSONL traces plus a "
+        "merged cross-host Chrome trace into this directory",
+    )
+    p.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        help="arm the flight recorder; invariant violations dump "
+        "FLIGHT_*.json artifacts into this directory",
+    )
+    p.add_argument(
+        "--disable-m-vector",
+        action="store_true",
+        help="ablate the membership-ordering vector M (deliberately "
+        "broken protocol; pairs with --expect-violation)",
+    )
+    p.add_argument(
+        "--expect-violation",
+        action="store_true",
+        help="invert the exit code: succeed only if the soak violated an "
+        "invariant",
     )
     p.set_defaults(func=_cmd_chaos)
 
@@ -537,6 +638,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless every scenario's state space was exhausted",
     )
     p.set_defaults(func=_cmd_stress)
+
+    p = sub.add_parser(
+        "obs", help="observability artifact tools (trace merge)"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    m = obs_sub.add_parser(
+        "merge",
+        help="fuse per-host JSONL traces into one cross-host Chrome trace",
+    )
+    m.add_argument(
+        "traces",
+        nargs="+",
+        metavar="JSONL",
+        help="per-host JSONL trace files (clock_sync metadata aligns them)",
+    )
+    m.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="path of the merged Chrome trace JSON",
+    )
+    m.set_defaults(func=_cmd_obs_merge)
     return parser
 
 

@@ -15,10 +15,11 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.core.mc import Role
+from repro.obs.context import TraceContext
 from repro.trees.base import McTopology
 
 
@@ -46,6 +47,9 @@ class McLsa:
     proposal: Optional[McTopology]
     timestamp: Tuple[int, ...]
     role: Optional[Role] = None
+    #: Causal trace context (observability only -- never protocol input;
+    #: excluded from equality so traced and untraced LSAs compare equal).
+    ctx: Optional[TraceContext] = field(default=None, compare=False, repr=False)
 
     @property
     def is_mc(self) -> bool:

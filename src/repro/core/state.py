@@ -75,6 +75,10 @@ class McState:
         self.proposals_computed = 0
         self.proposals_accepted = 0
         self.proposals_withdrawn = 0
+        #: Causal context of the latest cause affecting this connection
+        #: (observability only; deliberately absent from :meth:`canonical`
+        #: so the systematic explorer's dedup ignores it).
+        self.trace_ctx = None
 
     # -- membership ------------------------------------------------------------
 

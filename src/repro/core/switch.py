@@ -227,13 +227,15 @@ class DgmcSwitch:
         tracer = obs_tracer.TRACER
         if not tracer.enabled:
             return state.algorithm.compute(image, members, previous)
+        args = {"connection": state.spec.connection_id, "members": len(members)}
+        if state.trace_ctx is not None:
+            args["trace_id"] = state.trace_ctx.trace_id()
         with tracer.span(
             "compute",
             cat="arbitration",
             tid=self.switch_id,
             sim_time=self.sim.now,
-            connection=state.spec.connection_id,
-            members=len(members),
+            **args,
         ):
             return state.algorithm.compute(image, members, previous)
 
@@ -244,16 +246,22 @@ class DgmcSwitch:
         event: McEvent,
         connection_id: int,
         role: Optional[Role] = None,
+        ctx=None,
     ):
         """Generator body of EventHandler() for one event and connection.
 
         The caller (the protocol layer) spawns this as a process.  For
         membership events the local member list is updated before the
         timestamps are advanced, so a proposal computed here reflects the
-        new membership.
+        new membership.  ``ctx`` is the causal trace context of the event
+        (minted by the live runtime; the discrete backend passes none);
+        it is adopted into the connection state and stamped onto every
+        LSA this handler floods.
         """
         x = self.switch_id
         state = self.get_or_create_state(connection_id)
+        if ctx is not None:
+            state.trace_ctx = ctx
         if event is McEvent.JOIN:
             if role is None:
                 role = default_role(state.spec.ctype)
@@ -272,16 +280,19 @@ class DgmcSwitch:
             proposal = yield from self._compute_proposal(state)  # line 5
             if state.received.equals(old_r):  # line 6: proposal still valid
                 self._flood(
-                    McLsa(x, event, connection_id, proposal, old_r, role)
+                    McLsa(x, event, connection_id, proposal, old_r, role,
+                          ctx=state.trace_ctx)
                 )  # line 7
                 state.make_proposal_flag = False  # line 9
                 self._install(state, proposal, old_r, proposer=x)  # lines 8, 10
             else:  # lines 11-13: flood event only, defer to ReceiveLSA()
-                self._flood(McLsa(x, event, connection_id, None, old_r, role))
+                self._flood(McLsa(x, event, connection_id, None, old_r, role,
+                                  ctx=state.trace_ctx))
                 state.make_proposal_flag = True
         else:  # lines 15-17: outstanding LSAs known; defer to ReceiveLSA()
             self._flood(
-                McLsa(x, event, connection_id, None, state.received.snapshot(), role)
+                McLsa(x, event, connection_id, None, state.received.snapshot(),
+                      role, ctx=state.trace_ctx)
             )
             state.make_proposal_flag = True
         self._maybe_destroy(connection_id)
@@ -324,6 +335,10 @@ class DgmcSwitch:
                 lsa = pending.popleft()
             else:
                 _, lsa = box.try_receive()
+            if lsa.ctx is not None:
+                # Adopt the newest cause affecting this connection so the
+                # spans and floods below join its causal chain.
+                state.trace_ctx = lsa.ctx
             if lsa.is_event_lsa:  # lines 5-9
                 # The LSA's own stamp component is the authoritative event
                 # index of its origin: apply iff it is news, and *set* R
@@ -403,6 +418,8 @@ class DgmcSwitch:
                     state, box, first, candidate, candidate_stamp, candidate_proposer
                 )
                 span.args["adopted_proposal"] = candidate is not None
+                if state.trace_ctx is not None:
+                    span.args["trace_id"] = state.trace_ctx.trace_id()
 
         # Lines 19-31: decide whether to compute a triggered proposal.
         if (
@@ -416,7 +433,8 @@ class DgmcSwitch:
                 box.empty and state.received.equals(old_r)
             ) or self.config.ablate_withdrawal:  # line 22
                 self._flood(
-                    McLsa(x, McEvent.NONE, connection_id, proposal, old_r)
+                    McLsa(x, McEvent.NONE, connection_id, proposal, old_r,
+                          ctx=state.trace_ctx)
                 )  # line 23
                 # Line 24: E = R.  (merge, not assign: with the withdrawal
                 # ablation E may already exceed old_r and must stay monotone.)
@@ -455,14 +473,19 @@ class DgmcSwitch:
         tracer = obs_tracer.TRACER
         if not tracer.enabled:
             return self._install_body(state, topology, stamp, proposer)
+        args = {
+            "connection": state.spec.connection_id,
+            "stamp_total": sum(stamp),
+            "proposer": proposer,
+        }
+        if state.trace_ctx is not None:
+            args["trace_id"] = state.trace_ctx.trace_id()
         with tracer.span(
             "install",
             cat="arbitration",
             tid=self.switch_id,
             sim_time=self.sim.now,
-            connection=state.spec.connection_id,
-            stamp_total=sum(stamp),
-            proposer=proposer,
+            **args,
         ):
             return self._install_body(state, topology, stamp, proposer)
 
@@ -517,6 +540,7 @@ class DgmcSwitch:
             member_stamp=state.member_stamp.snapshot(),
             members=tuple(sorted(state.members.items())),
             topology=topology,
+            ctx=state.trace_ctx,
         )
 
     def capture_resync_snapshots(self) -> list:
@@ -554,6 +578,8 @@ class DgmcSwitch:
         """
         state = self.get_or_create_state(snap.connection_id)
         changed = False
+        if snap.ctx is not None:
+            state.trace_ctx = snap.ctx
         member_view = snap.member_map()
         for origin, their_r in enumerate(snap.received):
             if their_r > state.received[origin]:
@@ -614,7 +640,8 @@ class DgmcSwitch:
         ):  # lines 28-30: events raced in during Tc -- withdraw
             state.proposals_withdrawn += 1
             return
-        self._flood(McLsa(x, McEvent.NONE, connection_id, proposal, old_r))  # 23
+        self._flood(McLsa(x, McEvent.NONE, connection_id, proposal, old_r,
+                          ctx=state.trace_ctx))  # 23
         state.expected.merge(old_r)  # line 24
         state.make_proposal_flag = False  # line 27
         if self._beats(old_r, x, state.current_stamp, state.current_proposer):

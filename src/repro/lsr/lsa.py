@@ -10,8 +10,10 @@ stale advertisements are recognized.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.obs.context import TraceContext
 
 
 @dataclass(frozen=True)
@@ -47,6 +49,9 @@ class NonMcLsa:
 
     source: int
     description: RouterLsa
+    #: Causal trace context (observability only -- never protocol input;
+    #: excluded from equality so traced and untraced LSAs compare equal).
+    ctx: Optional[TraceContext] = field(default=None, compare=False, repr=False)
 
     @property
     def is_mc(self) -> bool:

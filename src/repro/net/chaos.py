@@ -22,11 +22,13 @@ exactly with ``repro chaos --seed N``.
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.events import JoinEvent, LeaveEvent
+from repro.core.events import JoinEvent, LeaveEvent, LinkEvent
 from repro.core.protocol import ProtocolConfig
 from repro.net.invariants import (
     AGREEMENT,
@@ -34,9 +36,12 @@ from repro.net.invariants import (
     Violation,
     protocol_violations,
 )
-from repro.net.fabric import LiveConfig, LiveFabric
+from repro.net.fabric import LiveConfig, LiveFabric, QuiescenceTimeout
 from repro.net.faults import FaultPlan
 from repro.net.transport import RetransmitPolicy
+from repro.obs import flight
+from repro.obs.merge import export_host_traces, merge_traces
+from repro.obs.tracer import RingBufferSink, Tracer, use_tracer
 from repro.topo.generators import waxman_network
 
 
@@ -44,9 +49,9 @@ from repro.topo.generators import waxman_network
 class ChaosAction:
     """One scheduled fault or churn event."""
 
-    #: crash | restart | partition | heal | join | leave
+    #: crash | restart | partition | heal | join | leave | race
     kind: str
-    #: Switch id for crash/restart/join/leave (-1 otherwise).
+    #: Switch id for crash/restart/join/leave/race (-1 otherwise).
     target: int = -1
     #: Partition groups (partition only).
     groups: Tuple[Tuple[int, ...], ...] = ()
@@ -71,12 +76,26 @@ class ChaosSettings:
     actions: int = 20
     loss: float = 0.10
     duplicate_rate: float = 0.02
+    #: Probability a frame is held back ~50ms so later frames overtake
+    #: it -- the dial that turns the ``race`` action's same-source
+    #: leave-then-link LSA pair into a genuine in-flight reordering.
+    reorder: float = 0.0
     hello_interval: float = 0.05
     #: 8 hello intervals: at 10% loss a false death needs 8 consecutive
     #: losses (~1e-8), while a real one is declared in 0.4s.
     dead_interval: float = 0.40
     quiesce_timeout: float = 60.0
     connection_id: int = 1
+    #: Directory for causal trace artifacts: per-host JSONL traces plus
+    #: one merged cross-host Chrome trace (None = tracing off).
+    trace_dir: Optional[str] = None
+    #: Directory the flight recorder dumps ``FLIGHT_*.json`` into on any
+    #: invariant violation or quiescence timeout (None = recorder off).
+    flight_dir: Optional[str] = None
+    #: Run the soak with the membership-ordering vector M ablated -- a
+    #: *deliberately broken* protocol, used to demonstrate that a real
+    #: violation produces a replayable flight-recorder artifact.
+    ablate_member_stamp: bool = False
 
     def live_config(self) -> LiveConfig:
         # A tight retransmit budget (8 attempts, ~0.55s) so frames sent
@@ -85,7 +104,10 @@ class ChaosSettings:
         # probability for a *deliverable* frame is ~1e-8.
         return LiveConfig(
             faults=FaultPlan(
-                loss=self.loss, duplicate_rate=self.duplicate_rate, seed=self.seed
+                loss=self.loss,
+                reorder=self.reorder,
+                duplicate_rate=self.duplicate_rate,
+                seed=self.seed,
             ),
             policy=RetransmitPolicy(rto=0.01, rto_max=0.1, max_attempts=8),
             hello_interval=self.hello_interval,
@@ -101,10 +123,10 @@ def build_schedule(
 
     Feasibility is tracked while drawing (never restart a live switch,
     never stack partitions, keep at least two members, bound simultaneous
-    crashes); a crash+restart cycle and a partition+heal cycle are
-    guaranteed (appended if the draw missed them), and cleanup actions
-    restore every switch and heal any partition so the soak ends at a
-    stable point.
+    crashes); a crash+restart cycle, a partition+heal cycle, and a
+    membership/link ``race`` are guaranteed (appended if the draw missed
+    them), and cleanup actions restore every switch and heal any
+    partition so the soak ends at a stable point.
     """
     actions: List[ChaosAction] = []
     crashed: Set[int] = set()
@@ -135,6 +157,8 @@ def build_schedule(
             kinds += ["join"] * 4
         if len(leavable) > 2:
             kinds += ["leave"] * 2
+            if not partitioned:
+                kinds += ["race"] * 2
         kind = rng.choice(kinds)
         if kind == "crash":
             target = rng.choice(live)
@@ -154,13 +178,34 @@ def build_schedule(
             target = rng.choice(joinable)
             roster.add(target)
             actions.append(ChaosAction("join", target))
-        else:  # leave
+        else:  # leave / race (a race is a leave plus an adjacent link flap)
             target = rng.choice(sorted(leavable))
             roster.discard(target)
-            actions.append(ChaosAction("leave", target))
+            actions.append(ChaosAction(kind, target))
 
-    # Guarantee the two acceptance-critical cycles.
+    # Guarantee the acceptance-critical cycles.
     kinds_seen = {a.kind for a in actions}
+    if "race" not in kinds_seen:
+        # The reorder hazard must fire at least once per soak: a leave
+        # racing its own tree-edge failure (the stress suite's
+        # membership-race shape, live).  Heal/grow first if needed so
+        # the race fires on an unpartitioned fabric with >= 2 members
+        # left behind.
+        if partitioned:
+            actions.append(ChaosAction("heal"))
+            partitioned = False
+        live = [x for x in range(n) if x not in crashed]
+        candidates = sorted(x for x in roster if x not in crashed)
+        joinable = [x for x in live if x not in roster]
+        while len(candidates) <= 2 and joinable:
+            target = joinable.pop(rng.randrange(len(joinable)))
+            roster.add(target)
+            candidates.append(target)
+            actions.append(ChaosAction("join", target))
+        if len(candidates) > 2:
+            target = rng.choice(sorted(candidates))
+            roster.discard(target)
+            actions.append(ChaosAction("race", target))
     if "crash" not in kinds_seen or "restart" not in kinds_seen:
         live = [x for x in range(n) if x not in crashed]
         target = rng.choice(live)
@@ -190,7 +235,8 @@ class ChaosReport:
     checks: int = 0
     violations: List[str] = field(default_factory=list)
     #: Stable invariant names of the violations, in the same order (see
-    #: :data:`repro.net.invariants.ALL_INVARIANTS`); the CLI reports these.
+    #: :data:`repro.net.invariants.ALL_INVARIANTS`, plus the live-only
+    #: ``quiescence-timeout`` liveness verdict); the CLI reports these.
     violation_names: List[str] = field(default_factory=list)
     #: Switches that were crashed and cold-restarted at least once.
     restarted: List[int] = field(default_factory=list)
@@ -200,6 +246,12 @@ class ChaosReport:
     final_members: Tuple[int, ...] = ()
     counters: Dict[str, float] = field(default_factory=dict)
     prom: str = ""
+    #: Per-host JSONL traces written when ``trace_dir`` was set.
+    trace_files: List[str] = field(default_factory=list)
+    #: The merged cross-host Chrome trace ("" = tracing was off).
+    merged_trace: str = ""
+    #: Flight-recorder artifacts written during this soak.
+    flight_files: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -220,10 +272,38 @@ class ChaosReport:
         return lines
 
 
-def _record_violations(report: ChaosReport, found: List[Violation]) -> None:
+def _record_violations(
+    report: ChaosReport,
+    found: List[Violation],
+    fabric: Optional[LiveFabric] = None,
+) -> None:
     for v in found:
         report.violations.append(v.describe())
         report.violation_names.append(v.invariant)
+    if found and fabric is not None:
+        cfg = report.settings
+        flight.dump_on_violation(
+            f"chaos-{found[0].invariant}",
+            {
+                "seed": cfg.seed,
+                "switches": cfg.switches,
+                "actions": cfg.actions,
+                "loss": cfg.loss,
+                "duplicate_rate": cfg.duplicate_rate,
+                "reorder": cfg.reorder,
+                "ablate_member_stamp": cfg.ablate_member_stamp,
+                "replay": (
+                    f"repro chaos --switches {cfg.switches} "
+                    f"--actions {cfg.actions} --seed {cfg.seed} "
+                    f"--loss {cfg.loss} --duplicate-rate {cfg.duplicate_rate}"
+                    + (f" --reorder {cfg.reorder}" if cfg.reorder else "")
+                    + (" --disable-m-vector" if cfg.ablate_member_stamp else "")
+                ),
+                "schedule": report.schedule,
+                "violations": [v.describe() for v in found],
+            },
+            registry=fabric.metrics,
+        )
 
 
 def _stable_invariants(
@@ -260,7 +340,11 @@ async def run_chaos_soak(settings: Optional[ChaosSettings] = None) -> ChaosRepor
     report.crash_count = sum(1 for a in schedule if a.kind == "crash")
     report.partition_count = sum(1 for a in schedule if a.kind == "partition")
 
-    fabric = LiveFabric(net, ProtocolConfig(), cfg.live_config())
+    fabric = LiveFabric(
+        net,
+        ProtocolConfig(ablate_member_stamp=cfg.ablate_member_stamp),
+        cfg.live_config(),
+    )
     fabric.register_symmetric(cfg.connection_id)
     restarted: Set[int] = set()
     # Settling windows: a crash/partition only becomes *observable* after
@@ -269,6 +353,16 @@ async def run_chaos_soak(settings: Optional[ChaosSettings] = None) -> ChaosRepor
     # those observations set in motion.
     failure_settle = 1.5 * cfg.dead_interval
     recovery_settle = 4.0 * cfg.hello_interval
+    tracer: Optional[Tracer] = None
+    if cfg.trace_dir:
+        tracer = Tracer(enabled=True, process_name=f"chaos-s{cfg.seed}")
+        tracer.add_sink(RingBufferSink(200_000))
+    previous_recorder = flight.installed_recorder()
+    if cfg.flight_dir:
+        flight.install_recorder(flight.FlightRecorder(cfg.flight_dir))
+    scope = contextlib.ExitStack()
+    if tracer is not None:
+        scope.enter_context(use_tracer(tracer))
     try:
         await fabric.start()
         for member in sorted(initial):
@@ -294,6 +388,32 @@ async def run_chaos_soak(settings: Optional[ChaosSettings] = None) -> ChaosRepor
                 fabric.hosts[action.target].fire_membership(
                     JoinEvent(action.target, cfg.connection_id)
                 )
+            elif action.kind == "race":
+                # The stress suite's membership-race shape, live: the
+                # leaving switch detects one of its own installed-tree
+                # edges failing immediately after the leave, so the same
+                # source floods a membership LSA (event k) and a link
+                # LSA (event k+1) back-to-back with no barrier between
+                # them.  Under injected loss/reorder the link LSA can
+                # overtake the leave at a receiver; the M vector is what
+                # keeps the reordered leave applied (--disable-m-vector
+                # turns this action into a divergence detonator).
+                x = action.target
+                state = fabric.hosts[x].switch.states.get(cfg.connection_id)
+                edge = None
+                if state is not None and state.installed is not None:
+                    for u, v in sorted(state.installed.all_edges()):
+                        other = v if u == x else u if v == x else None
+                        if other is not None and other not in fabric.crashed:
+                            edge = (u, v)
+                            break
+                fabric.hosts[x].fire_membership(
+                    LeaveEvent(x, cfg.connection_id)
+                )
+                if edge is not None:
+                    fabric.fire_event(LinkEvent(x, edge[0], edge[1], up=False))
+                    await fabric.quiesce()
+                    fabric.fire_event(LinkEvent(x, edge[0], edge[1], up=True))
             else:  # leave
                 fabric.hosts[action.target].fire_membership(
                     LeaveEvent(action.target, cfg.connection_id)
@@ -306,6 +426,7 @@ async def run_chaos_soak(settings: Optional[ChaosSettings] = None) -> ChaosRepor
                     _stable_invariants(
                         fabric, cfg.connection_id, f"after [{action.describe()}]"
                     ),
+                    fabric,
                 )
         # Final settle: one extra recovery window so late link-up floods
         # and snapshot gossip fully drain before the last verdict.
@@ -313,13 +434,14 @@ async def run_chaos_soak(settings: Optional[ChaosSettings] = None) -> ChaosRepor
         await fabric.quiesce()
         report.checks += 1
         _record_violations(
-            report, _stable_invariants(fabric, cfg.connection_id, "final")
+            report, _stable_invariants(fabric, cfg.connection_id, "final"),
+            fabric,
         )
         ok, detail = fabric.agreement(cfg.connection_id)
         report.final_detail = detail
         if not ok:
             _record_violations(
-                report, [Violation(AGREEMENT, detail, "final")]
+                report, [Violation(AGREEMENT, detail, "final")], fabric
             )
         states = fabric.states_for(cfg.connection_id)
         if states:
@@ -327,8 +449,40 @@ async def run_chaos_soak(settings: Optional[ChaosSettings] = None) -> ChaosRepor
         report.restarted = sorted(restarted)
         report.counters = fabric.counters()
         report.prom = fabric.metrics.to_prometheus()
+    except QuiescenceTimeout as exc:
+        # A wedged barrier is a *liveness* violation, not a harness
+        # crash: an ablated protocol can livelock on conflicting
+        # re-proposals instead of diverging at a stable point.  The
+        # fabric already dumped a flight-recorder artifact from inside
+        # quiesce(); report the verdict instead of dying mid-soak.
+        report.violations.append(f"liveness: {exc}")
+        report.violation_names.append("quiescence-timeout")
+        report.restarted = sorted(restarted)
+        report.counters = fabric.counters()
+        report.prom = fabric.metrics.to_prometheus()
     finally:
         await fabric.shutdown()
+        # Artifact export runs even when the soak died mid-schedule (a
+        # quiescence timeout is exactly when the trace matters most).
+        if tracer is not None and cfg.trace_dir:
+            report.trace_files = export_host_traces(
+                tracer, cfg.trace_dir, prefix=f"chaos_s{cfg.seed}"
+            )
+            if report.trace_files:
+                merged = os.path.join(
+                    cfg.trace_dir, f"chaos_s{cfg.seed}_merged_trace.json"
+                )
+                merge_traces(report.trace_files, out_path=merged)
+                report.merged_trace = merged
+        if cfg.flight_dir:
+            recorder = flight.installed_recorder()
+            if recorder is not None:
+                report.flight_files = list(recorder.dumps)
+            if previous_recorder is not None:
+                flight.install_recorder(previous_recorder)
+            else:
+                flight.uninstall_recorder()
+        scope.close()
     return report
 
 

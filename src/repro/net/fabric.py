@@ -32,7 +32,9 @@ from repro.core.state import McState
 from repro.net.faults import FaultPlan
 from repro.net.host import LiveSwitch
 from repro.net.transport import RetransmitPolicy, UdpTransport
+from repro.obs import flight
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloTracker
 from repro.topo.graph import Network
 
 
@@ -88,6 +90,9 @@ class LiveFabric:
         self.live = live or LiveConfig()
         #: Obs registry shared with the transport (live_* counters).
         self.metrics = MetricsRegistry()
+        #: Convergence SLO tracker: opened by the hosts (cause minting),
+        #: fed by the transport (control overhead) and by every install.
+        self.slo = SloTracker(self.metrics)
         self.transport = UdpTransport(
             net.switches(),
             faults=self.live.faults,
@@ -95,6 +100,7 @@ class LiveFabric:
             host=self.live.host,
             metrics=self.metrics,
         )
+        self.transport.slo = self.slo
         self.hosts: Dict[int, LiveSwitch] = {}
         #: Connection provisioning database, shared by every host (static
         #: config, like the paper's pre-registered MC identifiers).
@@ -165,6 +171,7 @@ class LiveFabric:
             dead_interval=self.live.dead_interval,
             cold_boot=cold_boot,
         )
+        host.slo = self.slo
         self.transport.register(x, host.ingest)
         self.transport.register_control(x, host.handle_control)
         return host
@@ -177,18 +184,24 @@ class LiveFabric:
         for host in self.hosts.values():
             await host.stop()
         await self.transport.stop()
+        self.slo.finalize()
 
     def _record_install(
         self, switch: int, connection_id: int, stamp: tuple, proposer: int
     ) -> None:
         # ``time`` is the installing host's *local* sim clock: there is no
         # global clock in the live runtime, only per-host schedulers.
+        host = self.hosts[switch]
         self.install_log.append(
             InstallRecord(
-                self.hosts[switch].sim.now, switch, connection_id,
-                tuple(stamp), proposer,
+                host.sim.now, switch, connection_id, tuple(stamp), proposer,
             )
         )
+        state = host.switch.states.get(connection_id)
+        if state is not None:
+            self.slo.record_install(
+                state.trace_ctx, switch, state.member_set
+            )
 
     # -- infrastructure failures (crash / restart / partition) -----------------
 
@@ -288,6 +301,19 @@ class LiveFabric:
         self._pending_events.append((at, self._event_seq, event))
         self._event_seq += 1
 
+    def fire_event(self, event: Any) -> None:
+        """Apply one membership/link event immediately, with no barrier.
+
+        Unlike :meth:`inject` + :meth:`run` (which quiesces between
+        events under barrier pacing), back-to-back ``fire_event`` calls
+        put their floods on the wire concurrently -- the chaos soak's
+        ``race`` action uses this to let a membership LSA and a link
+        LSA from the same source genuinely race in flight.
+        """
+        if not isinstance(event, (JoinEvent, LeaveEvent, LinkEvent)):
+            raise TypeError(f"unknown event {event!r}")
+        self._fire(event)
+
     def _fire(self, event: Any) -> None:
         self.events_injected += 1
         if isinstance(event, (JoinEvent, LeaveEvent)):
@@ -354,8 +380,25 @@ class LiveFabric:
             else:
                 consecutive = 0
             if loop.time() > deadline:
+                diagnostics = self.quiesce_diagnostics()
+                flight.dump_on_violation(
+                    "quiescence-timeout",
+                    {
+                        "budget_seconds": budget,
+                        "diagnostics": diagnostics,
+                        "open_slo_chains": {
+                            tid: {
+                                "needed": sorted(needed),
+                                "installed": sorted(installed),
+                            }
+                            for tid, (needed, installed)
+                            in self.slo.open_chains().items()
+                        },
+                    },
+                    registry=self.metrics,
+                )
                 raise QuiescenceTimeout(
-                    f"no quiescence within {budget}s: {self.quiesce_diagnostics()}"
+                    f"no quiescence within {budget}s: {diagnostics}"
                 )
 
     def quiesce_diagnostics(self) -> str:

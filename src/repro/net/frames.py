@@ -3,11 +3,26 @@
 A UDP datagram carries exactly one frame.  All frames share one header::
 
     magic    u8   = 0xD7   (distinct from the LSA magic 0xD6)
-    version  u8   = 1
+    version  u8   = 2
     type     u8
     src      u16  originating switch id
     dest     u16  destination switch id
     seq      u32  per-(src, dest) sequence number (HELLO: boot generation)
+
+Version 2 prefixes the DATA, SNAP, and LSU bodies with an optional
+causal trace context (:class:`~repro.obs.context.TraceContext`)::
+
+    has_ctx  u8   0 or 1
+    ctx      12 bytes, present iff has_ctx  (origin, connection, seq,
+                                             cause code, hop counter)
+
+The context is observability metadata only -- it never feeds protocol
+decisions -- but it is what stitches flood -> compute -> arbitration ->
+install into one causal trace tree across hosts.  The decoder still
+accepts version-1 frames (no context prefix) so mixed-version soaks
+interoperate; the encoder always emits version 2.  ACK/HELLO/DBD carry
+no context (acks are infrastructure, hellos/DBDs are liveness probes
+whose cause is themselves).
 
 Six frame types exist:
 
@@ -41,7 +56,7 @@ on anything undecodable, so socket readers need a single except clause.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Optional, Tuple, Union
 
 from repro.core.lsa import McLsa
@@ -52,10 +67,13 @@ from repro.core.wire import (
     encode_lsa,
 )
 from repro.lsr.lsa import NonMcLsa
+from repro.obs.context import TraceContext, TraceContextError
 from repro.trees.algorithms import RECEIVER, SENDER
 
 FRAME_MAGIC = 0xD7
-FRAME_VERSION = 1
+FRAME_VERSION = 2
+#: Oldest frame version the decoder still accepts (pre-trace-context).
+LEGACY_FRAME_VERSION = 1
 DATA = 1
 ACK = 2
 HELLO = 3
@@ -147,6 +165,8 @@ class McSnapshot:
     member_stamp: Tuple[int, ...]
     members: Tuple[Tuple[int, FrozenSet[str]], ...]
     topology: Optional[bytes]
+    #: Causal trace context (observability only; excluded from equality).
+    ctx: Optional[TraceContext] = field(default=None, compare=False, repr=False)
 
     def member_map(self) -> Dict[int, FrozenSet[str]]:
         return dict(self.members)
@@ -179,9 +199,20 @@ def _pack_header(ftype: int, src: int, dest: int, seq: int) -> bytes:
     return _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, ftype, src, dest, seq)
 
 
+def _pack_ctx(ctx: Optional[TraceContext]) -> bytes:
+    """The version-2 trace-context prefix: has_ctx flag + optional bytes."""
+    if ctx is None:
+        return b"\x00"
+    return b"\x01" + ctx.to_wire()
+
+
 def encode_data(src: int, dest: int, seq: int, lsa: Union[McLsa, NonMcLsa]) -> bytes:
-    """Build the wire bytes of one DATA frame."""
-    return _pack_header(DATA, src, dest, seq) + encode_lsa(lsa)
+    """Build the wire bytes of one DATA frame (context taken from the LSA)."""
+    return (
+        _pack_header(DATA, src, dest, seq)
+        + _pack_ctx(getattr(lsa, "ctx", None))
+        + encode_lsa(lsa)
+    )
 
 
 def encode_ack(src: int, dest: int, seq: int) -> bytes:
@@ -249,15 +280,23 @@ def encode_snapshot(snapshot: McSnapshot) -> bytes:
 
 
 def encode_snap(src: int, dest: int, seq: int, snapshot: McSnapshot) -> bytes:
-    """Build the wire bytes of one SNAP frame."""
-    return _pack_header(SNAP, src, dest, seq) + encode_snapshot(snapshot)
+    """Build the wire bytes of one SNAP frame (context from the snapshot)."""
+    return (
+        _pack_header(SNAP, src, dest, seq)
+        + _pack_ctx(snapshot.ctx)
+        + encode_snapshot(snapshot)
+    )
 
 
 def encode_lsu(src: int, dest: int, seq: int, lsa: NonMcLsa) -> bytes:
-    """Build the wire bytes of one LSU frame (body = the encoded LSA)."""
+    """Build the wire bytes of one LSU frame (context taken from the LSA)."""
     if not isinstance(lsa, NonMcLsa):
         raise TypeError("LSU frames carry non-MC LSAs only")
-    return _pack_header(LSU, src, dest, seq) + encode_lsa(lsa)
+    return (
+        _pack_header(LSU, src, dest, seq)
+        + _pack_ctx(lsa.ctx)
+        + encode_lsa(lsa)
+    )
 
 
 class _BodyReader:
@@ -361,6 +400,25 @@ def _decode_lsa_body(body: bytes, context: str) -> Union[McLsa, NonMcLsa]:
         raise FrameDecodeError(f"bad {context} payload: {exc}") from exc
 
 
+def _take_ctx(body: bytes) -> Tuple[Optional[TraceContext], bytes]:
+    """Split a version-2 body into (trace context, remaining payload)."""
+    if not body:
+        raise FrameDecodeError("truncated trace-context prefix")
+    flag = body[0]
+    if flag == 0:
+        return None, body[1:]
+    if flag != 1:
+        raise FrameDecodeError(f"bad trace-context flag {flag}")
+    end = 1 + TraceContext.WIRE_SIZE
+    if len(body) < end:
+        raise FrameDecodeError("truncated trace context")
+    try:
+        ctx = TraceContext.from_wire(body[1:end])
+    except TraceContextError as exc:
+        raise FrameDecodeError(f"bad trace context: {exc}") from exc
+    return ctx, body[end:]
+
+
 def decode_frame(data: bytes) -> Frame:
     """Parse one datagram into a frame; raises :class:`FrameDecodeError`."""
     if len(data) < _HEADER.size:
@@ -368,7 +426,7 @@ def decode_frame(data: bytes) -> Frame:
     magic, version, ftype, src, dest, seq = _HEADER.unpack_from(data)
     if magic != FRAME_MAGIC:
         raise FrameDecodeError(f"bad frame magic 0x{magic:02x}")
-    if version != FRAME_VERSION:
+    if version not in (FRAME_VERSION, LEGACY_FRAME_VERSION):
         raise FrameDecodeError(f"unsupported frame version {version}")
     body = data[_HEADER.size :]
     if ftype == ACK:
@@ -376,7 +434,13 @@ def decode_frame(data: bytes) -> Frame:
             raise FrameDecodeError("trailing bytes after ACK")
         return AckFrame(src, dest, seq)
     if ftype == DATA:
-        return DataFrame(src, dest, seq, _decode_lsa_body(body, "DATA"))
+        ctx, payload = (
+            _take_ctx(body) if version >= FRAME_VERSION else (None, body)
+        )
+        lsa = _decode_lsa_body(payload, "DATA")
+        if ctx is not None:
+            lsa = replace(lsa, ctx=ctx)
+        return DataFrame(src, dest, seq, lsa)
     if ftype == HELLO:
         if body:
             raise FrameDecodeError("trailing bytes after HELLO")
@@ -384,11 +448,22 @@ def decode_frame(data: bytes) -> Frame:
     if ftype == DBD:
         return _decode_dbd(src, dest, seq, body)
     if ftype == SNAP:
-        return _decode_snap(src, dest, seq, body)
+        ctx, payload = (
+            _take_ctx(body) if version >= FRAME_VERSION else (None, body)
+        )
+        frame = _decode_snap(src, dest, seq, payload)
+        if ctx is not None:
+            frame = SnapFrame(src, dest, seq, replace(frame.snapshot, ctx=ctx))
+        return frame
     if ftype == LSU:
-        lsa = _decode_lsa_body(body, "LSU")
+        ctx, payload = (
+            _take_ctx(body) if version >= FRAME_VERSION else (None, body)
+        )
+        lsa = _decode_lsa_body(payload, "LSU")
         if not isinstance(lsa, NonMcLsa):
             raise FrameDecodeError("LSU frames carry non-MC LSAs only")
+        if ctx is not None:
+            lsa = replace(lsa, ctx=ctx)
         return LsuFrame(src, dest, seq, lsa)
     raise FrameDecodeError(f"unknown frame type {ftype}")
 

@@ -30,6 +30,8 @@ from repro.lsr.lsa import NonMcLsa, RouterLsa
 from repro.lsr.router import UnicastRouter
 from repro.net.resync import ResyncManager
 from repro.net.transport import Transport
+from repro.obs import tracer as obs_tracer
+from repro.obs.context import TraceContext
 from repro.sim.kernel import Simulator
 from repro.topo.graph import Network
 
@@ -47,9 +49,18 @@ class LiveFloodOut:
         self.peers = sorted(peers)
         self.flood_counts: Dict[str, int] = {}
         self.delivery_count = 0
+        #: Causal context stamped onto ctx-less payloads flooded while it
+        #: is set.  The unicast router floods non-MC LSAs synchronously
+        #: from :meth:`LiveSwitch.fire_link`, which sets this around the
+        #: call so link-event floods join the link event's causal chain.
+        self.current_ctx: Optional[TraceContext] = None
 
     def flood(self, origin: int, payload: Any, kind: str = "lsa") -> None:
         self.flood_counts[kind] = self.flood_counts.get(kind, 0) + 1
+        if self.current_ctx is not None and getattr(payload, "ctx", None) is None:
+            # The LSA dataclasses are frozen; ctx is observability-only
+            # metadata (compare=False), so back-stamping is safe.
+            object.__setattr__(payload, "ctx", self.current_ctx)
         for dest in self.peers:
             if dest == origin:
                 continue
@@ -128,6 +139,17 @@ class LiveSwitch:
         self._stopped = False
         #: Payloads accepted from the transport (diagnostic).
         self.ingested = 0
+        #: Per-host mint counter for causal trace contexts.
+        self._ctx_seq = 0
+        #: Optional :class:`~repro.obs.slo.SloTracker` (set by the fabric).
+        self.slo = None
+
+    # -- causal context minting ------------------------------------------------
+
+    def mint_ctx(self, cause: str, connection_id: int = -1) -> TraceContext:
+        """Mint the causal context for a cause born at this host."""
+        self._ctx_seq += 1
+        return TraceContext(self.switch_id, connection_id, cause, self._ctx_seq)
 
     # -- boot ---------------------------------------------------------------
 
@@ -193,15 +215,35 @@ class LiveSwitch:
     # -- local event injection ---------------------------------------------------
 
     def fire_membership(self, event) -> None:
-        """Run EventHandler() for a local join/leave."""
+        """Run EventHandler() for a local join/leave.
+
+        Mints the event's causal trace context and opens its convergence
+        SLO chain: the predicted post-event member set is what every
+        member must install against before the chain counts as
+        converged (a leave emptying the connection is the degenerate
+        zero-member case -- nothing to install, converged immediately).
+        """
+        state = self.switch.states.get(event.connection_id)
+        members = set(state.members) if state is not None else set()
         if isinstance(event, JoinEvent):
-            gen = self.switch.event_handler(
-                McEvent.JOIN, event.connection_id, role=event.role
-            )
+            cause = "join" if members else "request"
+            predicted = members | {self.switch_id}
         elif isinstance(event, LeaveEvent):
-            gen = self.switch.event_handler(McEvent.LEAVE, event.connection_id)
+            cause = "leave"
+            predicted = members - {self.switch_id}
         else:
             raise TypeError(f"not a membership event: {event!r}")
+        ctx = self.mint_ctx(cause, event.connection_id)
+        if self.slo is not None:
+            self.slo.begin(ctx, predicted)
+        if isinstance(event, JoinEvent):
+            gen = self.switch.event_handler(
+                McEvent.JOIN, event.connection_id, role=event.role, ctx=ctx
+            )
+        else:
+            gen = self.switch.event_handler(
+                McEvent.LEAVE, event.connection_id, ctx=ctx
+            )
         kind = "join" if isinstance(event, JoinEvent) else "leave"
         self.sim.spawn(
             gen,
@@ -217,14 +259,31 @@ class LiveSwitch:
         """This host detects an incident link change (Figure 2's detector).
 
         Floods exactly one non-MC LSA, then one MC link event per affected
-        connection; returns the affected connection ids.
+        connection; returns the affected connection ids.  One causal
+        context is minted per detected change (hello-declared deaths
+        arrive here too, via :meth:`~repro.net.resync.ResyncManager.
+        check_dead`) and shared by the unicast flood and every MC repair
+        it provokes; a link-down with affected connections opens a
+        failure-to-repair SLO chain.
         """
+        ctx = self.mint_ctx("link-up" if up else "link-down")
         self.net.set_link_state(u, v, up)
-        self.router.notify_incident_link_event()
+        self.flood_out.current_ctx = ctx
+        try:
+            self.router.notify_incident_link_event()
+        finally:
+            self.flood_out.current_ctx = None
         affected = self._affected_connections(u, v, up)
+        if self.slo is not None and affected:
+            needed = set()
+            for connection_id in affected:
+                state = self.switch.states.get(connection_id)
+                if state is not None:
+                    needed |= state.member_set
+            self.slo.begin(ctx, needed)
         for connection_id in affected:
             self.sim.spawn(
-                self.switch.event_handler(McEvent.LINK, connection_id),
+                self.switch.event_handler(McEvent.LINK, connection_id, ctx=ctx),
                 name=f"EventHandler(link, sw={self.switch_id}, m={connection_id})",
             )
         self._wake.set()
@@ -310,7 +369,14 @@ class LiveSwitch:
                         await asyncio.sleep(0)
                     if self._stopped:
                         return
-                    self.sim.step()
+                    tracer = obs_tracer.TRACER
+                    if tracer.enabled:
+                        # Every span the protocol opens during this step
+                        # lands in this host's Perfetto lane.
+                        with tracer.lane(self.switch_id):
+                            self.sim.step()
+                    else:
+                        self.sim.step()
             finally:
                 self._pumping = False
 

@@ -41,6 +41,7 @@ boot-time convenience for clean starts, never called after recovery.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.lsr.lsa import NonMcLsa
@@ -220,6 +221,12 @@ class ResyncManager:
         tracer = obs_tracer.TRACER
         if tracer.enabled:
             tracer.instant("resync_start", cat="resync", tid=x, peer=peer)
+        slo = getattr(self.host, "slo", None)
+        if slo is not None:
+            # DBD frames carry no trace context on the wire, so the
+            # transport cannot attribute them; count them here.
+            slo.resync_started(x, peer)
+            slo.record_control("resync")
         self.transport.send_dbd(x, peer, self.host.router.lsdb.headers())
         self._c_dbd_sent.inc()
 
@@ -229,6 +236,10 @@ class ResyncManager:
         peer = frame.src
         theirs = frame.header_map()
         router = self.host.router
+        slo = getattr(self.host, "slo", None)
+        if frame.reply and slo is not None:
+            # The terminating reply of a handshake we initiated.
+            slo.resync_finished(x, peer)
         # OSPF self-originated recovery from the headers alone: after a
         # cold boot the network may still hold our pre-crash LSA at a
         # sequence number our fresh counter has not reached (``>=``: an
@@ -246,13 +257,22 @@ class ResyncManager:
             self._c_seq_recoveries.inc()
         lsdb = router.lsdb
         mine = lsdb.headers()
+        # Every frame answered below is resync traffic: stamp a fresh
+        # "resync" trace context so the transfer shows up as its own
+        # causal tree (snapshots that already carry the context of the
+        # membership event they encode keep it -- the original cause is
+        # more informative than the resync that re-delivered it).
+        mint = getattr(self.host, "mint_ctx", None)
+        ctx = mint("resync") if mint is not None else None
         # Full LSAs for every origin we know and they lack or hold stale.
         for origin, lsa in sorted(lsdb.entries().items()):
             if theirs.get(origin, 0) < lsa.seqnum:
-                self.transport.send_lsu(x, peer, NonMcLsa(origin, lsa))
+                self.transport.send_lsu(x, peer, NonMcLsa(origin, lsa, ctx=ctx))
                 self._c_lsu_sent.inc()
         # Arbitration snapshots for every MC connection we hold.
         for snap in self.host.switch.capture_resync_snapshots():
+            if snap.ctx is None and ctx is not None:
+                snap = replace(snap, ctx=ctx)
             self.transport.send_snap(x, peer, snap)
             self._c_snap_sent.inc()
         # Reply (once) iff the peer knows origins better than we do, so
@@ -261,6 +281,8 @@ class ResyncManager:
         if not frame.reply and any(
             seq > mine.get(origin, 0) for origin, seq in theirs.items()
         ):
+            if slo is not None:
+                slo.record_control("resync")
             self.transport.send_dbd(x, peer, mine, reply=True)
             self._c_dbd_sent.inc()
 

@@ -33,11 +33,12 @@ from __future__ import annotations
 
 import abc
 import asyncio
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.net.faults import FaultInjector, FaultPlan
 from repro.obs import tracer as obs_tracer
+from repro.obs.context import TraceContext
 from repro.obs.metrics import MetricsRegistry
 
 #: Delivery hook signature: (destination switch id, decoded payload).
@@ -271,6 +272,10 @@ class UdpTransport(Transport):
         self._started = False
         self._closed = False
         self._socket_errors = 0
+        #: Optional :class:`~repro.obs.slo.SloTracker` (set by the fabric);
+        #: fed the cause of every reliable frame queued so control-message
+        #: overhead is attributable per cause kind.
+        self.slo = None
         reg = self.metrics
         self._c_data_sent = reg.counter(
             "live_datagrams_sent_total",
@@ -445,7 +450,9 @@ class UdpTransport(Transport):
         """
         frames = _frames()
         self._queue_reliable(
-            src, dest, lambda seq: frames.encode_data(src, dest, seq, payload)
+            src, dest,
+            lambda seq: frames.encode_data(src, dest, seq, payload),
+            ctx=getattr(payload, "ctx", None),
         )
 
     def send_dbd(
@@ -462,14 +469,18 @@ class UdpTransport(Transport):
         """Queue one reliable SNAP frame (MC arbitration snapshot)."""
         frames = _frames()
         self._queue_reliable(
-            src, dest, lambda seq: frames.encode_snap(src, dest, seq, snapshot)
+            src, dest,
+            lambda seq: frames.encode_snap(src, dest, seq, snapshot),
+            ctx=snapshot.ctx,
         )
 
     def send_lsu(self, src: int, dest: int, lsa) -> None:
         """Queue one reliable LSU frame (resync LSA transfer)."""
         frames = _frames()
         self._queue_reliable(
-            src, dest, lambda seq: frames.encode_lsu(src, dest, seq, lsa)
+            src, dest,
+            lambda seq: frames.encode_lsu(src, dest, seq, lsa),
+            ctx=lsa.ctx,
         )
 
     def send_hello(self, src: int, dest: int, generation: int) -> None:
@@ -480,7 +491,8 @@ class UdpTransport(Transport):
         self._dispatch_frame(src, dest, frame, kind="hello")
 
     def _queue_reliable(
-        self, src: int, dest: int, build: Callable[[int], bytes]
+        self, src: int, dest: int, build: Callable[[int], bytes],
+        ctx: Optional[TraceContext] = None,
     ) -> None:
         if not self._started:
             raise RuntimeError("transport not started")
@@ -501,6 +513,17 @@ class UdpTransport(Transport):
         seq = self._seq.get(key, 0) + 1
         self._seq[key] = seq
         self._pending[(src, dest, seq)] = _Pending(frame=build(seq))
+        if ctx is not None:
+            if self.slo is not None:
+                self.slo.record_control(ctx.cause)
+            tracer = obs_tracer.TRACER
+            if tracer.enabled:
+                # Flow start: one arrow tail per logical frame (retransmits
+                # share it); the head is emitted at delivery.
+                tracer.flow(
+                    ctx.trace_id(), "s", ctx.flow_id(src, dest, seq),
+                    cat="net", tid=src, pid=src, dest=dest, **ctx.to_args(),
+                )
         self._transmit((src, dest, seq))
 
     def _transmit(self, key: Tuple[int, int, int]) -> None:
@@ -521,7 +544,7 @@ class UdpTransport(Transport):
             self._c_retransmits.inc()
             if tracer.enabled:
                 tracer.instant(
-                    "udp_retransmit", cat="net", tid=src,
+                    "udp_retransmit", cat="net", tid=src, pid=src,
                     dest=dest, seq=seq, attempt=pending.attempts,
                 )
         rto = self.policy.timeout(pending.attempts)
@@ -584,7 +607,7 @@ class UdpTransport(Transport):
         tracer = obs_tracer.TRACER
         if tracer.enabled:
             with tracer.span(
-                "udp_send", cat="net", tid=src, dest=dest,
+                "udp_send", cat="net", tid=src, pid=src, dest=dest,
                 bytes=len(frame), kind=kind,
             ):
                 endpoint.sendto(frame, self._addrs[dest])
@@ -637,19 +660,58 @@ class UdpTransport(Transport):
             handler = self._handlers.get(receiver)
             if handler is None:
                 return
+            lsa = frame.lsa
+            ctx = getattr(lsa, "ctx", None)
             tracer = obs_tracer.TRACER
+            if ctx is not None:
+                # Re-attach one wire traversal later: the hop counter is
+                # the receive path's business, not the codec's.
+                lsa = replace(lsa, ctx=ctx.next_hop())
+                if tracer.enabled:
+                    tracer.flow(
+                        ctx.trace_id(), "f",
+                        ctx.flow_id(frame.src, frame.dest, frame.seq),
+                        cat="net", tid=receiver, pid=receiver,
+                        **ctx.to_args(),
+                    )
             if tracer.enabled:
                 with tracer.span(
-                    "udp_recv", cat="net", tid=receiver, src=frame.src, seq=frame.seq
+                    "udp_recv", cat="net", tid=receiver, pid=receiver,
+                    src=frame.src, seq=frame.seq,
                 ):
-                    handler(receiver, frame.lsa)
+                    handler(receiver, lsa)
             else:
-                handler(receiver, frame.lsa)
+                handler(receiver, lsa)
             return
         # DBD / SNAP / LSU: the resync control plane.
         control = self._control.get(receiver)
         if control is not None:
-            control(receiver, frame)
+            control(receiver, self._bump_control_ctx(frames, frame, receiver))
+
+    def _bump_control_ctx(self, frames, frame, receiver: int):
+        """Hop-bump a SNAP/LSU frame's context and emit the flow head."""
+        if isinstance(frame, frames.SnapFrame):
+            ctx = frame.snapshot.ctx
+            if ctx is None:
+                return frame
+            bumped = replace(
+                frame, snapshot=replace(frame.snapshot, ctx=ctx.next_hop())
+            )
+        elif isinstance(frame, frames.LsuFrame):
+            ctx = frame.lsa.ctx
+            if ctx is None:
+                return frame
+            bumped = replace(frame, lsa=replace(frame.lsa, ctx=ctx.next_hop()))
+        else:
+            return frame
+        tracer = obs_tracer.TRACER
+        if tracer.enabled:
+            tracer.flow(
+                ctx.trace_id(), "f",
+                ctx.flow_id(frame.src, frame.dest, frame.seq),
+                cat="net", tid=receiver, pid=receiver, **ctx.to_args(),
+            )
+        return bumped
 
     def dedup_state(self, receiver: int, src: int) -> Tuple[int, int]:
         """Diagnostic: ``(floor, out-of-order window size)`` for one pair.

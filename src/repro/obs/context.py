@@ -1,0 +1,136 @@
+"""Causal trace context: the compact ID that follows a cause across hosts.
+
+Every *cause* the live runtime reacts to -- a connection request
+(join/leave), a link event, a neighbor resync -- mints exactly one
+:class:`TraceContext` at the host where it is born.  The context rides
+on every LSA and resync snapshot that the cause provokes (stamped into
+the version-2 frame bodies by :mod:`repro.net.frames`), is re-attached
+on decode with its hop counter bumped, and is adopted into the
+connection state by :class:`~repro.core.switch.DgmcSwitch`, so the
+flood -> compute -> arbitration -> install chain on every host carries
+the same ``trace_id``.  That is what lets
+
+* the tracer draw one connected causal tree across host lanes
+  (flow events keyed on the context, see
+  :meth:`~repro.obs.tracer.Tracer.flow`),
+* the SLO tracker (:mod:`repro.obs.slo`) measure request-to-installed
+  and failure-to-repair windows end to end, and
+* the flight recorder name the cause a violation belongs to.
+
+The wire form is a fixed 12-byte struct (origin switch, connection id,
+mint sequence, cause code, hop counter) so the context never dominates
+frame size; the discrete-event backend never mints contexts, keeping the
+pure-simulation traces byte-identical to PR 2.
+
+Stdlib-only leaf module: :mod:`repro.core` imports it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = [
+    "CAUSE_CODES",
+    "CAUSE_NAMES",
+    "TraceContext",
+    "TraceContextError",
+]
+
+#: Cause kinds a context can be minted for, with their u8 wire codes.
+CAUSE_CODES: Dict[str, int] = {
+    "request": 1,  # connection creation (first join)
+    "join": 2,
+    "leave": 3,
+    "link-down": 4,  # includes hello/dead-interval detected failures
+    "link-up": 5,
+    "resync": 6,  # DBD exchange after crash/partition heal
+}
+
+CAUSE_NAMES: Dict[int, str] = {code: name for name, code in CAUSE_CODES.items()}
+
+# origin u16 | connection i32 (-1 = no connection) | seq u32 | cause u8 | hop u8
+_WIRE = struct.Struct("!HiIBB")
+
+
+class TraceContextError(ValueError):
+    """A context failed wire-level validation."""
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Causal identity of one protocol cause, propagated hop by hop.
+
+    ``origin``/``seq``/``cause`` identify the cause globally (each host
+    mints ``seq`` from a private counter); ``connection_id`` is ``-1``
+    for causes not tied to a connection (raw link events); ``hop``
+    counts wire traversals and is the only field that changes in
+    flight -- equality and :meth:`trace_id` deliberately ignore it.
+    """
+
+    origin: int
+    connection_id: int
+    cause: str
+    seq: int
+    hop: int = field(default=0, compare=False)
+
+    WIRE_SIZE = _WIRE.size
+
+    def __post_init__(self) -> None:
+        if self.cause not in CAUSE_CODES:
+            raise TraceContextError(f"unknown trace cause {self.cause!r}")
+
+    def trace_id(self) -> str:
+        """Stable human-readable id, shared by every hop of the chain."""
+        return f"o{self.origin}.{self.seq}.{self.cause}"
+
+    def flow_id(self, src: int, dest: int, seq: int) -> int:
+        """Chrome flow-event id for one wire transfer of this cause.
+
+        Flow ids must be unique per arrow, so the frame's (src, dest,
+        seq) triple is folded in; the Chrome format wants a plain int.
+        """
+        return hash((self.origin, self.seq, self.cause, src, dest, seq)) & 0x7FFFFFFF
+
+    def next_hop(self) -> "TraceContext":
+        """The context one wire traversal later (hop capped at 255)."""
+        return TraceContext(
+            self.origin,
+            self.connection_id,
+            self.cause,
+            self.seq,
+            min(self.hop + 1, 255),
+        )
+
+    def to_args(self) -> Dict[str, object]:
+        """Span/instant ``args`` describing this context."""
+        return {
+            "trace_id": self.trace_id(),
+            "cause": self.cause,
+            "origin": self.origin,
+            "hop": self.hop,
+        }
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_wire(self) -> bytes:
+        return _WIRE.pack(
+            self.origin,
+            self.connection_id,
+            self.seq,
+            CAUSE_CODES[self.cause],
+            self.hop,
+        )
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "TraceContext":
+        if len(data) != _WIRE.size:
+            raise TraceContextError(
+                f"trace context needs {_WIRE.size} bytes, got {len(data)}"
+            )
+        origin, connection_id, seq, code, hop = _WIRE.unpack(data)
+        cause = CAUSE_NAMES.get(code)
+        if cause is None:
+            raise TraceContextError(f"unknown trace cause code {code}")
+        return cls(origin, connection_id, cause, seq, hop)

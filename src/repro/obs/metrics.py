@@ -135,6 +135,28 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the buckets (0 <= q <= 1).
+
+        Linear interpolation inside the winning bucket, the standard
+        Prometheus ``histogram_quantile`` estimate.  Observations above
+        the last finite bound clamp to that bound (there is no upper
+        edge to interpolate toward); an empty histogram reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for i, (bound, n) in enumerate(zip(self.buckets, self.counts)):
+            if running + n >= rank and n > 0:
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                fraction = min(max((rank - running) / n, 0.0), 1.0)
+                return lower + (bound - lower) * fraction
+            running += n
+        return self.buckets[-1] if self.buckets else 0.0
+
     def samples(self) -> Iterable[Tuple[str, float]]:
         # Flat (diffable) sample names; the Prometheus dump re-derives
         # the proper bucket label syntax from the instrument itself.
@@ -148,6 +170,16 @@ def _format_bound(bound: float) -> str:
     if bound == int(bound):
         return str(int(bound))
     return repr(bound)
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text per the Prometheus exposition format.
+
+    Backslashes and newlines are the only characters the format escapes
+    in HELP lines; an unescaped newline would otherwise break the dump
+    into a bogus sample line.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 class MetricsRegistry:
@@ -243,7 +275,9 @@ class MetricsRegistry:
         lines: List[str] = []
         for metric in self._metrics.values():
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(
+                    f"# HELP {metric.name} {_escape_help(metric.help)}"
+                )
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             if isinstance(metric, Histogram):
                 for bound, cum in metric.cumulative():

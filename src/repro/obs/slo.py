@@ -1,0 +1,205 @@
+"""Convergence SLO tracking: causal chains turned into histograms.
+
+The paper's "lightweight" claim is a claim about convergence windows --
+how long a multipoint connection stays un-installed (after a request or
+membership change) or blackholed (after a link failure).  This module
+measures those windows end to end on the live runtime by following the
+causal trace contexts (:mod:`repro.obs.context`) from the moment a cause
+is born to the moment every member of the affected connection has
+installed a topology covering it:
+
+* ``slo_install_latency_seconds`` -- request/join/leave to all-members-
+  installed,
+* ``slo_repair_latency_seconds``  -- link failure detected to repaired
+  (the blackholed window),
+* ``slo_resync_duration_seconds`` -- DBD handshake initiation to the
+  terminating reply (crash/partition recovery),
+* ``slo_control_frames_<cause>_total`` -- reliable frames put on the
+  wire attributable to each cause kind (the control-message overhead the
+  *Systematic Performance Evaluation of Multipoint Protocols*
+  methodology prices convergence in),
+* ``slo_never_converged_total`` / ``slo_zero_member_events_total`` --
+  the degenerate outcomes: chains still open at shutdown, and events
+  whose predicted member set is empty (nothing to install; converged by
+  definition).
+
+All instruments live on the registry the caller provides (the fabric
+passes its shared network registry), so they ride the existing
+Prometheus dump, snapshot, and delta plumbing unchanged.
+
+Stdlib-only leaf module (the fabric and transport import it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.obs.context import CAUSE_CODES, TraceContext
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = ["SLO_BUCKETS", "SloTracker"]
+
+#: Convergence-window bucket bounds, in seconds.  The live runtime's
+#: windows span ~1ms (one-hop install at zero loss) to whole seconds
+#: (retransmit storms through 10% loss), so the scale is log-ish.
+SLO_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+@dataclass
+class _Chain:
+    """One open convergence chain: a cause waiting for its installs."""
+
+    ctx: TraceContext
+    needed: FrozenSet[int]
+    started: float
+    installed: Set[int] = dc_field(default_factory=set)
+
+
+class SloTracker:
+    """Track convergence chains keyed by causal trace id.
+
+    A chain opens when a cause is born (:meth:`begin`) with the set of
+    switches that must install before the cause counts as converged,
+    accumulates installs (:meth:`record_install`), and closes into the
+    cause-appropriate histogram when the needed set is covered.  The
+    needed set is *refreshed* from each installer's member view -- the
+    membership a chain must cover can itself change while the chain is
+    open (a member leaves mid-convergence), and the installers' views
+    are the authority on who still matters.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.registry = registry
+        self._clock = clock if clock is not None else time.monotonic
+        self._chains: Dict[str, _Chain] = {}
+        self._resyncs: Dict[Tuple[int, int], float] = {}
+        self.install_latency = registry.histogram(
+            "slo_install_latency_seconds",
+            "request/membership change to all-members-installed, seconds",
+            buckets=SLO_BUCKETS,
+        )
+        self.repair_latency = registry.histogram(
+            "slo_repair_latency_seconds",
+            "link failure detected to repaired everywhere (blackholed "
+            "window), seconds",
+            buckets=SLO_BUCKETS,
+        )
+        self.resync_duration = registry.histogram(
+            "slo_resync_duration_seconds",
+            "DBD handshake initiation to terminating reply, seconds",
+            buckets=SLO_BUCKETS,
+        )
+        self.never_converged = registry.counter(
+            "slo_never_converged_total",
+            "convergence chains still open at shutdown",
+        )
+        self.zero_member_events = registry.counter(
+            "slo_zero_member_events_total",
+            "events whose predicted member set was empty (trivially "
+            "converged)",
+        )
+        self._control: Dict[str, object] = {}
+        for cause in CAUSE_CODES:
+            slug = cause.replace("-", "_")
+            self._control[cause] = registry.counter(
+                f"slo_control_frames_{slug}_total",
+                f"reliable frames queued on behalf of {cause} causes",
+            )
+
+    # -- chain lifecycle -----------------------------------------------------
+
+    def begin(self, ctx: TraceContext, needed) -> None:
+        """Open a chain: ``needed`` switches must install to converge.
+
+        An empty needed set is the degenerate zero-member case (a leave
+        emptying the connection): counted, and converged immediately --
+        opening a chain would leave it dangling forever.
+        """
+        needed = frozenset(needed)
+        if not needed:
+            self.zero_member_events.inc()
+            return
+        self._chains[ctx.trace_id()] = _Chain(
+            ctx=ctx, needed=needed, started=self._clock()
+        )
+
+    def record_install(self, ctx: Optional[TraceContext], switch: int,
+                       member_set) -> None:
+        """One switch installed under ``ctx``; close the chain if covered.
+
+        ``member_set`` is the installer's current member view; the
+        chain's needed set is refreshed to it (intersected installs stay
+        counted) so members that left mid-chain stop being waited for.
+        """
+        if ctx is None:
+            return
+        chain = self._chains.get(ctx.trace_id())
+        if chain is None:
+            return
+        chain.installed.add(switch)
+        members = frozenset(member_set)
+        if members:
+            chain.needed = members
+        if chain.needed <= chain.installed:
+            self._histogram_for(chain.ctx).observe(
+                self._clock() - chain.started
+            )
+            del self._chains[chain.ctx.trace_id()]
+
+    def _histogram_for(self, ctx: TraceContext) -> Histogram:
+        if ctx.cause == "link-down":
+            return self.repair_latency
+        if ctx.cause == "resync":
+            return self.resync_duration
+        return self.install_latency
+
+    # -- resync handshake ------------------------------------------------------
+
+    def resync_started(self, src: int, peer: int) -> None:
+        """A DBD handshake opened from ``src`` toward ``peer``."""
+        self._resyncs[(src, peer)] = self._clock()
+
+    def resync_finished(self, src: int, peer: int) -> None:
+        """The terminating reply DBD arrived back at ``src`` from ``peer``."""
+        started = self._resyncs.pop((src, peer), None)
+        if started is not None:
+            self.resync_duration.observe(self._clock() - started)
+
+    # -- control overhead ------------------------------------------------------
+
+    def record_control(self, cause: str) -> None:
+        """Count one reliable frame queued on behalf of ``cause``."""
+        counter = self._control.get(cause)
+        if counter is not None:
+            counter.inc()
+
+    # -- shutdown --------------------------------------------------------------
+
+    def open_chains(self) -> Dict[str, Tuple[FrozenSet[int], FrozenSet[int]]]:
+        """Diagnostic: ``{trace_id: (needed, installed)}`` of open chains."""
+        return {
+            tid: (chain.needed, frozenset(chain.installed))
+            for tid, chain in self._chains.items()
+        }
+
+    def finalize(self) -> int:
+        """Close the books: open chains count as never-converged.
+
+        Returns how many chains were abandoned.  Open resync handshakes
+        are dropped silently (a crashed peer legitimately never replies).
+        """
+        abandoned = len(self._chains)
+        if abandoned:
+            self.never_converged.inc(abandoned)
+        self._chains.clear()
+        self._resyncs.clear()
+        return abandoned

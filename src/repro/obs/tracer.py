@@ -36,7 +36,7 @@ import json
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, time as unix_time
 from typing import Any, Dict, IO, Iterable, List, Optional, Union
 
 __all__ = [
@@ -52,16 +52,17 @@ __all__ = [
 
 @dataclass
 class TraceEvent:
-    """One trace record (Chrome ``trace_event`` phases ``X``/``i``/``M``)."""
+    """One trace record (Chrome phases ``X``/``i``/``M``/``s``/``f``)."""
 
     name: str
     cat: str
-    ph: str  # "X" complete span, "i" instant, "M" metadata
+    ph: str  # "X" span, "i" instant, "M" metadata, "s"/"f" flow start/finish
     ts: float  # wall microseconds since the tracer epoch
     dur: float = 0.0  # wall microseconds ("X" only)
     pid: int = 0
     tid: int = 0
     sim_ts: Optional[float] = None
+    flow_id: Optional[int] = None  # flow-event binding id ("s"/"f" only)
     args: Dict[str, Any] = field(default_factory=dict)
 
     def to_chrome(self) -> Dict[str, Any]:
@@ -78,6 +79,10 @@ class TraceEvent:
             out["dur"] = self.dur
         elif self.ph == "i":
             out["s"] = "t"  # thread-scoped instant
+        elif self.ph in ("s", "f"):
+            out["id"] = self.flow_id
+            if self.ph == "f":
+                out["bp"] = "e"  # bind to the enclosing slice's end
         args = dict(self.args)
         if self.sim_ts is not None:
             args["sim_time"] = self.sim_ts
@@ -133,14 +138,17 @@ class JsonlSink:
 class _Span:
     """Context manager for one span; measures and emits on exit."""
 
-    __slots__ = ("tracer", "name", "cat", "tid", "sim_ts", "args", "start", "children")
+    __slots__ = ("tracer", "name", "cat", "tid", "pid", "sim_ts", "args",
+                 "start", "children")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str, tid: int,
-                 sim_ts: Optional[float], args: Dict[str, Any]) -> None:
+                 sim_ts: Optional[float], args: Dict[str, Any],
+                 pid: Optional[int] = None) -> None:
         self.tracer = tracer
         self.name = name
         self.cat = cat
         self.tid = tid
+        self.pid = pid  # None -> the tracer's lane at emit time
         self.sim_ts = sim_ts
         self.args = args
         self.start = 0.0
@@ -175,7 +183,7 @@ class _Span:
                     ph="X",
                     ts=(self.start - tracer._epoch) * 1e6,
                     dur=dur * 1e6,
-                    pid=tracer.pid,
+                    pid=tracer.pid if self.pid is None else self.pid,
                     tid=self.tid,
                     sim_ts=self.sim_ts,
                     args=self.args,
@@ -193,6 +201,9 @@ class Tracer:
         self.process_name = process_name
         self._sinks: List[Any] = []
         self._epoch = perf_counter()
+        #: Wall-clock (unix) time of the epoch; exported as ``clock_sync``
+        #: metadata so per-host traces can be merged on one time axis.
+        self.epoch_unix = unix_time()
         self._stack: List[_Span] = []
         #: category -> accumulated span *self* time, wall seconds.
         self.phase_self: Dict[str, float] = {}
@@ -222,6 +233,7 @@ class Tracer:
         Sinks are kept; their contents are the sinks' business.
         """
         self._epoch = perf_counter()
+        self.epoch_unix = unix_time()
         self._stack.clear()
         self.phase_self.clear()
         self.events_emitted = 0
@@ -233,17 +245,21 @@ class Tracer:
     # -- recording ---------------------------------------------------------
 
     def span(self, name: str, cat: str = "", tid: int = 0,
-             sim_time: Optional[float] = None, **args: Any) -> _Span:
+             sim_time: Optional[float] = None, pid: Optional[int] = None,
+             **args: Any) -> _Span:
         """A context manager timing one synchronous block.
 
         Only call when :attr:`enabled` is true (hot paths check the flag
         first and skip the call entirely); spans must not cross simulation
-        yields -- wrap synchronous work only.
+        yields -- wrap synchronous work only.  ``pid`` overrides the
+        tracer's lane for this span (multi-host traces put each
+        :class:`~repro.net.host.LiveSwitch` in its own lane).
         """
-        return _Span(self, name, cat, tid, sim_time, args)
+        return _Span(self, name, cat, tid, sim_time, args, pid=pid)
 
     def instant(self, name: str, cat: str = "", tid: int = 0,
-                sim_time: Optional[float] = None, **args: Any) -> None:
+                sim_time: Optional[float] = None, pid: Optional[int] = None,
+                **args: Any) -> None:
         """Record a zero-duration event."""
         if not self._sinks:
             return
@@ -253,12 +269,55 @@ class Tracer:
                 cat=cat,
                 ph="i",
                 ts=(perf_counter() - self._epoch) * 1e6,
-                pid=self.pid,
+                pid=self.pid if pid is None else pid,
                 tid=tid,
                 sim_ts=sim_time,
                 args=args,
             )
         )
+
+    def flow(self, name: str, ph: str, flow_id: int, cat: str = "",
+             tid: int = 0, pid: Optional[int] = None,
+             sim_time: Optional[float] = None, **args: Any) -> None:
+        """Record a flow event (``ph`` is ``"s"`` start or ``"f"`` finish).
+
+        A matched s/f pair with the same ``flow_id`` renders as a causal
+        arrow between the enclosing slices of two lanes -- the cross-host
+        propagation fan-out.  The id must be unique per arrow; derive it
+        from the :class:`~repro.obs.context.TraceContext` plus the wire
+        transfer (see ``TraceContext.flow_id``).
+        """
+        if ph not in ("s", "f"):
+            raise ValueError(f"flow phase must be 's' or 'f', got {ph!r}")
+        if not self._sinks:
+            return
+        self._emit(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph=ph,
+                ts=(perf_counter() - self._epoch) * 1e6,
+                pid=self.pid if pid is None else pid,
+                tid=tid,
+                sim_ts=sim_time,
+                flow_id=flow_id,
+                args=args,
+            )
+        )
+
+    @contextmanager
+    def lane(self, pid: int):
+        """Attribute events emitted in this block to process lane ``pid``.
+
+        The live runtime wraps each host's simulator pump with its switch
+        id so every span lands in that host's Perfetto lane.
+        """
+        previous = self.pid
+        self.pid = pid
+        try:
+            yield self
+        finally:
+            self.pid = previous
 
     def _emit(self, event: TraceEvent) -> None:
         self.events_emitted += 1

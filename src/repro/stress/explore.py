@@ -35,9 +35,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.net.invariants import Violation
+from repro.obs import flight
 from repro.stress.executor import InfeasibleStep, StressExecutor
 from repro.stress.minimize import minimize_schedule
-from repro.stress.model import Counterexample, Step, StressScenario
+from repro.stress.model import (
+    Counterexample,
+    Step,
+    StressScenario,
+    describe_step,
+)
 
 STRATEGIES = ("dfs", "bfs", "guided")
 
@@ -158,6 +164,19 @@ class _Search:
             )
             ce.minimized = True
         self.report.counterexamples.append(ce)
+        flight.dump_on_violation(
+            f"stress-{ce.invariant}",
+            {
+                "scenario": ce.scenario,
+                "invariant": ce.invariant,
+                "detail": ce.detail,
+                "config_overrides": ce.config,
+                "minimized": ce.minimized,
+                "schedule": [
+                    describe_step(step, self.scenario) for step in ce.schedule
+                ],
+            },
+        )
         return len(self.report.counterexamples) >= self.options.max_counterexamples
 
 

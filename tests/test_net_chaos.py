@@ -41,6 +41,7 @@ class TestBuildSchedule:
         # Acceptance-critical cycles are always present.
         assert "crash" in kinds and "restart" in kinds
         assert "partition" in kinds and "heal" in kinds
+        assert "race" in kinds  # the reorder hazard fires in every soak
         # Replay the schedule symbolically: it must be feasible throughout
         # and end at a stable point.
         crashed: set = set()
@@ -67,10 +68,14 @@ class TestBuildSchedule:
                 assert action.target not in roster
                 roster.add(action.target)
             else:
-                assert action.kind == "leave"
+                # A race is a leave plus an adjacent link flap from the
+                # same switch -- roster-wise it behaves like a leave.
+                assert action.kind in ("leave", "race")
                 assert action.target in roster
                 roster.discard(action.target)
                 assert len(roster) >= 2
+                if action.kind == "race":
+                    assert not partitioned
         assert not crashed and not partitioned
 
     def test_small_net_never_partitions(self):

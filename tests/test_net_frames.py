@@ -202,8 +202,19 @@ class TestRobustness:
 
     def test_data_with_garbage_payload(self):
         header = encode_ack(1, 2, 3)[:2] + bytes([DATA]) + encode_ack(1, 2, 3)[3:]
+        # \x00 = "no trace context", so the garbage reaches the LSA codec.
         with pytest.raises(FrameDecodeError, match="payload"):
-            decode_frame(header + b"garbage")
+            decode_frame(header + b"\x00" + b"garbage")
+
+    def test_data_with_bad_ctx_flag(self):
+        header = encode_ack(1, 2, 3)[:2] + bytes([DATA]) + encode_ack(1, 2, 3)[3:]
+        with pytest.raises(FrameDecodeError, match="trace-context flag"):
+            decode_frame(header + b"\x67garbage")
+
+    def test_data_with_truncated_ctx(self):
+        header = encode_ack(1, 2, 3)[:2] + bytes([DATA]) + encode_ack(1, 2, 3)[3:]
+        with pytest.raises(FrameDecodeError, match="trace context"):
+            decode_frame(header + b"\x01" + b"\x00" * 4)
 
     def test_frame_error_is_wire_decode_error(self):
         """One except clause covers frames and LSAs alike."""

@@ -37,8 +37,13 @@ class TestReportSchema:
 
     def test_every_benchmark_reports_wall_time(self, regress, quick_report):
         benches = quick_report["benchmarks"]
-        # The ispf pair only runs under --mode ispf (or --only).
-        expected = set(regress.BENCHMARKS) - set(regress.ISPF_BENCHMARKS)
+        # The ispf pair and the live SLO bench only run under their own
+        # --mode (or --only).
+        expected = (
+            set(regress.BENCHMARKS)
+            - set(regress.ISPF_BENCHMARKS)
+            - set(regress.CONVERGENCE_BENCHMARKS)
+        )
         assert set(benches) == expected
         for record in benches.values():
             assert record["wall_time_s"] >= 0.0
