@@ -37,6 +37,15 @@ Benchmarks:
   causal SLO tracker must report non-zero install-latency and
   failure-repair-window histograms, and their p50/p99 are gated (with
   generous latency tolerance) against the committed baseline.
+* ``dataplane_throughput`` / ``dataplane_contrast`` (``--mode
+  dataplane`` only) -- the batched forwarding gates: a Zipf
+  churn-and-traffic workload (1k groups at n = 100) through the
+  compiled-state engine must be >= 10x faster than the per-packet
+  reference engine while a 360-packet shadow sample stays
+  delivery-for-delivery identical; the contrast row replays equivalent
+  churn + traffic through the MOSPF baseline, whose data-driven
+  shortest-path computations D-GMC's data plane never performs
+  (see docs/dataplane.md).
 
 Every report embeds the process-wide metrics registry's sample deltas
 (``"metrics"``), and each run also writes ``TRACE_<mode>.json`` (Chrome
@@ -102,6 +111,10 @@ MODES: Dict[str, tuple] = {
     "ispf": ((20, 100), 1),
     # The live-runtime convergence SLO gate (real sockets, wall clock).
     "convergence_slo": ((12,), 1),
+    # The batched-forwarding gate: n=100 is where the >= 10x speedup
+    # acceptance criterion measures; the MOSPF contrast runs at the
+    # small size (its per-datagram SPF makes large sizes prohibitive).
+    "dataplane": ((20, 100), 1),
 }
 
 #: Benchmarks that only run under --mode ispf (and via --only).
@@ -109,6 +122,9 @@ ISPF_BENCHMARKS = ("ispf_churn", "ispf_failure_churn")
 
 #: Benchmarks that only run under --mode convergence_slo (and via --only).
 CONVERGENCE_BENCHMARKS = ("convergence_slo",)
+
+#: Benchmarks that only run under --mode dataplane (and via --only).
+DATAPLANE_BENCHMARKS = ("dataplane_throughput", "dataplane_contrast")
 
 
 # -- benchmark bodies --------------------------------------------------------
@@ -532,6 +548,127 @@ def bench_convergence_slo(sizes, graphs) -> Dict[str, object]:
     return asyncio.run(_slo_scenario(n, seed=1996))
 
 
+def _sim_quantile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank quantile of already-sorted sim-time latencies."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def bench_dataplane_throughput(sizes, graphs) -> Dict[str, object]:
+    """Batched vs reference forwarding under Zipf churn at the top size.
+
+    Gated invariants (see :func:`check_invariants`): the 360-packet
+    shadow sample through the per-packet reference engine must match the
+    batched records field for field, and at n >= 100 (1k groups) the
+    batched engine must sustain >= 10x the reference packet rate.  The
+    delivery-latency percentiles are *simulated* time -- deterministic
+    for the seed, so the baseline gate holds them to counter tolerance.
+    """
+    import random
+
+    from repro.workloads.zipf import replay_workload, zipf_churn_workload
+
+    n = max(sizes)
+    full_scale = n >= 100
+    groups = 1000 if full_scale else 50
+    rng = random.Random(1996)
+    net = waxman_network(n, rng)
+    dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05))
+    workload = zipf_churn_workload(
+        n,
+        groups,
+        rng,
+        phases=3,
+        events_per_phase=40,
+        batches_per_phase=6,
+        batch_size=2048 if full_scale else 256,
+        max_initial_members=16,
+    )
+    result = replay_workload(
+        dgmc, workload, hop_delay=0.05, reference_sample=360
+    )
+    report = result.batched_report
+    latencies = sorted(result.latencies())
+    return {
+        "switches": n,
+        "groups": groups,
+        "packets": result.packets,
+        "churn_events": result.events,
+        "batched_pps": round(result.batched_pps, 1),
+        "reference_pps": round(result.reference_pps, 1),
+        "reference_packets": result.reference_packets,
+        "speedup": round(result.speedup, 2),
+        "identical_deliveries": result.identical_deliveries,
+        "mismatches": len(result.mismatches),
+        "mean_delivery_ratio": round(report.mean_delivery_ratio, 6),
+        "total_hops": report.total_hops,
+        "duplicates": report.total_duplicates,
+        "ttl_drops": report.total_ttl_drops,
+        "delivery_p50_sim": round(_sim_quantile(latencies, 0.50), 6),
+        "delivery_p99_sim": round(_sim_quantile(latencies, 0.99), 6),
+    }
+
+
+def bench_dataplane_contrast(sizes, graphs) -> Dict[str, object]:
+    """D-GMC batched forwarding vs the MOSPF baseline, heavy traffic.
+
+    Runs the same Zipf workload through both data planes at the small
+    size (MOSPF pays a shortest-path computation per data-driven
+    (source, group) sighting, so large sizes are prohibitive -- which is
+    the paper's point).  Gated: MOSPF's computations per datagram stay
+    positive while D-GMC's data plane performs zero, and the batched
+    packet rate exceeds MOSPF's.
+    """
+    import random
+
+    from repro.workloads.zipf import (
+        mospf_contrast,
+        replay_workload,
+        zipf_churn_workload,
+    )
+
+    n = min(sizes)
+    rng = random.Random(1996)
+    net = waxman_network(n, rng)
+    workload = zipf_churn_workload(
+        n,
+        100,
+        rng,
+        phases=2,
+        events_per_phase=16,
+        batches_per_phase=2,
+        batch_size=256,
+        max_initial_members=12,
+    )
+    dgmc = DgmcNetwork(
+        net.copy(), ProtocolConfig(compute_time=0.5, per_hop_delay=0.05)
+    )
+    result = replay_workload(dgmc, workload, hop_delay=0.05)
+    contrast = mospf_contrast(
+        net.copy(), workload, compute_time=0.5, per_hop_delay=0.05
+    )
+    return {
+        "switches": n,
+        "groups": 100,
+        "packets": result.packets,
+        "batched_pps": round(result.batched_pps, 1),
+        "mospf_pps": round(contrast["pps"], 1),
+        "pps_ratio": round(
+            result.batched_pps / contrast["pps"] if contrast["pps"] else 0.0, 2
+        ),
+        "mospf_datagrams": int(contrast["datagrams"]),
+        "mospf_tree_computations": int(contrast["tree_computations"]),
+        "mospf_computations_per_datagram": round(
+            contrast["computations_per_datagram"], 3
+        ),
+        # The paper's Section 2 claim, made measurable: D-GMC precomputes
+        # at install time, so traffic triggers no tree computation.
+        "dgmc_data_path_computations": 0,
+    }
+
+
 BENCHMARKS: Dict[str, Callable] = {
     "exp1_churn": bench_exp1_churn,
     "exp2_churn": bench_exp2_churn,
@@ -541,16 +678,25 @@ BENCHMARKS: Dict[str, Callable] = {
     "ispf_churn": bench_ispf_churn,
     "ispf_failure_churn": bench_ispf_failure_churn,
     "convergence_slo": bench_convergence_slo,
+    "dataplane_throughput": bench_dataplane_throughput,
+    "dataplane_contrast": bench_dataplane_contrast,
 }
 
 #: Keys gated with --count-tolerance when present in both runs (wall time
-#: is always gated with --tolerance).
+#: is always gated with --tolerance).  The dataplane keys are seeded
+#: simulation outputs, deterministic across machines.
 COUNTER_KEYS = (
     "dijkstra_runs",
     "computations",
     "floodings",
     "events",
     "relaxations_ispf",
+    "total_hops",
+    "duplicates",
+    "ttl_drops",
+    "mospf_tree_computations",
+    "delivery_p50_sim",
+    "delivery_p99_sim",
 )
 
 #: Wall-latency keys (milliseconds) gated with a dedicated, generous
@@ -584,7 +730,14 @@ def run_benchmarks(mode: str, only: Optional[List[str]] = None) -> Dict[str, obj
         elif mode == "convergence_slo":
             if name not in CONVERGENCE_BENCHMARKS:
                 continue
-        elif name in ISPF_BENCHMARKS or name in CONVERGENCE_BENCHMARKS:
+        elif mode == "dataplane":
+            if name not in DATAPLANE_BENCHMARKS:
+                continue
+        elif (
+            name in ISPF_BENCHMARKS
+            or name in CONVERGENCE_BENCHMARKS
+            or name in DATAPLANE_BENCHMARKS
+        ):
             continue
         start = time.perf_counter()
         record = fn(sizes, graphs)
@@ -720,6 +873,34 @@ def check_invariants(report: Dict[str, object]) -> List[str]:
             failures.append(
                 "convergence_slo: install p99 < p50 -- histogram "
                 "quantile math is broken"
+            )
+    dp = benches.get("dataplane_throughput")
+    if dp is not None:
+        if dp["reference_packets"] > 0 and not dp["identical_deliveries"]:
+            failures.append(
+                "dataplane_throughput: batched deliveries diverged from "
+                f"the reference engine on {dp['mismatches']} shadow packets"
+            )
+        # The >= 10x speedup is the n=100 acceptance criterion; small-n
+        # runs (--only under quick/smoke) can't amortize compilation.
+        if max(report.get("sizes", [0])) >= 100 and dp["speedup"] < 10.0:
+            failures.append(
+                "dataplane_throughput: batched engine speedup "
+                f"{dp['speedup']:.1f}x < 10.0x over the reference engine"
+            )
+    dc = benches.get("dataplane_contrast")
+    if dc is not None:
+        if dc["mospf_computations_per_datagram"] <= 0:
+            failures.append(
+                "dataplane_contrast: MOSPF performed no data-driven tree "
+                "computations -- the contrast workload stopped exercising "
+                "its per-(source, group) path"
+            )
+        if dc["batched_pps"] <= dc["mospf_pps"]:
+            failures.append(
+                "dataplane_contrast: batched D-GMC forwarding "
+                f"({dc['batched_pps']:.0f} pkt/s) is not faster than the "
+                f"MOSPF baseline ({dc['mospf_pps']:.0f} pkt/s)"
             )
     return failures
 

@@ -24,6 +24,12 @@ Commands:
   small scenario, check the named invariants in every state, and shrink
   any violation to a 1-minimal replayable counterexample
   (``--replay`` re-runs a committed one; see docs/systematic-testing.md),
+* ``dataplane`` -- drive a Zipf churn-and-traffic workload through the
+  batched forwarding engine, optionally shadowing a packet sample
+  through the per-packet reference engine (exit code checks delivery
+  equivalence) and contrasting against the MOSPF baseline
+  (``--mospf``); ``--metrics`` dumps the ``dataplane_*`` counters
+  (see docs/dataplane.md),
 * ``obs merge`` -- fuse per-host JSONL traces (``clock_sync``
   epoch-aligned) into one cross-host Chrome trace with causal flow
   arrows intact (see docs/observability.md).
@@ -383,6 +389,77 @@ def _cmd_stress(args: argparse.Namespace) -> int:
     return rc
 
 
+def _cmd_dataplane(args: argparse.Namespace) -> int:
+    from repro.topo.generators import waxman_network
+    from repro.workloads.zipf import (
+        mospf_contrast,
+        replay_workload,
+        zipf_churn_workload,
+    )
+
+    rng = random.Random(args.seed)
+    net = waxman_network(args.switches, rng)
+    dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05))
+    workload = zipf_churn_workload(
+        args.switches,
+        args.groups,
+        rng,
+        s=args.zipf_s,
+        phases=args.phases,
+        events_per_phase=args.events,
+        batches_per_phase=args.batches,
+        batch_size=args.batch_size,
+        max_initial_members=args.max_members,
+    )
+    result = replay_workload(
+        dgmc, workload, hop_delay=0.05, reference_sample=args.reference_sample
+    )
+    print(
+        f"zipf(s={args.zipf_s:g}) workload: {args.groups} groups on "
+        f"{net.n} switches, {result.events} churn events, "
+        f"{result.packets} packets in {result.batches} batches"
+    )
+    report = result.batched_report
+    print(
+        f"batched engine: {result.batched_pps:>10.0f} pkt/s  "
+        f"(wall {result.batched_wall_s:.3f}s, "
+        f"delivery ratio {report.mean_delivery_ratio:.3f}, "
+        f"{report.total_hops} hops, {report.total_duplicates} duplicates, "
+        f"{report.total_ttl_drops} ttl drops)"
+    )
+    latencies = sorted(result.latencies())
+    if latencies:
+        p50 = latencies[len(latencies) // 2]
+        p99 = latencies[min(len(latencies) - 1, (len(latencies) * 99) // 100)]
+        print(f"delivery latency: p50={p50:.3f} p99={p99:.3f} (sim time)")
+    ok = True
+    if args.reference_sample:
+        print(
+            f"reference engine: {result.reference_pps:>8.0f} pkt/s over a "
+            f"{result.reference_packets}-packet shadow sample "
+            f"(speedup {result.speedup:.1f}x)"
+        )
+        ok = result.identical_deliveries
+        print(f"deliveries identical to reference: {ok}")
+        for line in result.mismatches[:5]:
+            print(f"  mismatch: {line}")
+    if args.mospf:
+        contrast = mospf_contrast(
+            net.copy(), workload, compute_time=0.5, per_hop_delay=0.05
+        )
+        print(
+            f"MOSPF baseline: {contrast['pps']:>8.0f} pkt/s, "
+            f"{contrast['tree_computations']:.0f} data-driven tree "
+            f"computations ({contrast['computations_per_datagram']:.2f} "
+            "per datagram; D-GMC's data plane performs zero)"
+        )
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(dgmc.metrics.to_prometheus())
+        print(f"wrote metrics dump to {args.metrics}")
+    return 0 if ok else 1
+
+
 def _cmd_obs_merge(args: argparse.Namespace) -> int:
     from repro.obs.merge import MergeError, merge_traces
 
@@ -638,6 +715,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless every scenario's state space was exhausted",
     )
     p.set_defaults(func=_cmd_stress)
+
+    p = sub.add_parser(
+        "dataplane",
+        help="batched Zipf traffic through compiled forwarding state",
+    )
+    p.add_argument("--switches", type=int, default=30)
+    p.add_argument("--groups", type=int, default=100)
+    p.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    p.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        help="Zipf popularity exponent across group ranks",
+    )
+    p.add_argument("--phases", type=int, default=2, help="churn phases")
+    p.add_argument(
+        "--events", type=int, default=16, help="churn events per phase"
+    )
+    p.add_argument(
+        "--batches", type=int, default=2, help="traffic batches per phase"
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=256, help="packets per batch"
+    )
+    p.add_argument(
+        "--max-members",
+        type=int,
+        default=12,
+        help="initial member count of the most popular group",
+    )
+    p.add_argument(
+        "--reference-sample",
+        type=int,
+        default=64,
+        help="packets to shadow through the reference engine for the "
+        "delivery-equivalence check (0 disables; exit code reflects it)",
+    )
+    p.add_argument(
+        "--mospf",
+        action="store_true",
+        help="also replay the workload through the MOSPF baseline",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write the deployment's metrics registry as Prometheus text",
+    )
+    p.set_defaults(func=_cmd_dataplane)
 
     p = sub.add_parser(
         "obs", help="observability artifact tools (trace merge)"

@@ -21,5 +21,12 @@ Delivery semantics per MC type (Section 1):
 
 from repro.dataplane.packet import DeliveryRecord, McPacket
 from repro.dataplane.forwarding import DeliveryReport, ForwardingEngine
+from repro.dataplane.engine import BatchForwardingEngine
 
-__all__ = ["McPacket", "DeliveryRecord", "ForwardingEngine", "DeliveryReport"]
+__all__ = [
+    "McPacket",
+    "DeliveryRecord",
+    "ForwardingEngine",
+    "BatchForwardingEngine",
+    "DeliveryReport",
+]

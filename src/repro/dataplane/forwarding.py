@@ -15,7 +15,7 @@ TTL bound every packet's work even under pathological disagreement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.mc import ConnectionType
 from repro.core.protocol import DgmcNetwork
@@ -56,6 +56,10 @@ class DeliveryReport:
     def total_duplicates(self) -> int:
         return sum(r.duplicates for r in self.records)
 
+    @property
+    def total_ttl_drops(self) -> int:
+        return sum(r.ttl_drops for r in self.records)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"DeliveryReport(packets={self.packets}, "
@@ -67,12 +71,29 @@ class DeliveryReport:
 class ForwardingEngine:
     """Forwards multicast packets through a running D-GMC deployment."""
 
-    def __init__(self, dgmc: DgmcNetwork, hop_delay: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        dgmc: DgmcNetwork,
+        hop_delay: Optional[float] = None,
+        ttl: Optional[int] = None,
+    ) -> None:
         self.dgmc = dgmc
         #: Data-packet per-hop delay; defaults to the physical link delay.
         self.hop_delay = hop_delay
+        #: Hop limit per packet; defaults to 4n (generous for any tree walk,
+        #: but bounds unicast ping-pong under inconsistent routing tables).
+        self.ttl = ttl
         self.report = DeliveryReport()
         self._seen: Dict[int, Set[int]] = {}
+        #: (switch, connection) -> (installed topology, tree_key -> incident
+        #: edges).  Valid while the installed object is unchanged; installs
+        #: replace the McTopology wholesale, so identity is the generation.
+        self._edge_cache: Dict[Tuple[int, int], Tuple[Any, Dict[int, List[tuple]]]] = {}
+        #: (source, connection) -> (member set, network image, contact).
+        #: Valid while the members and the source's LSDB image both stand.
+        self._contact_cache: Dict[
+            Tuple[int, int], Tuple[FrozenSet[int], Any, Optional[int]]
+        ] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -94,7 +115,7 @@ class ForwardingEngine:
             return
         record.intended = self._intended_receivers(state)
         self._seen[packet.packet_id] = set()
-        ttl = 4 * self.dgmc.net.n
+        ttl = self.ttl if self.ttl is not None else 4 * self.dgmc.net.n
         if self._on_tree(packet.source, packet):
             self._tree_arrive(packet.source, None, packet, record, ttl)
         else:
@@ -114,31 +135,44 @@ class ForwardingEngine:
         return frozenset(state.members)
 
     def _nearest_member(self, source: int, state) -> Optional[int]:
-        members = sorted(state.members)
+        members = state.member_set
         if not members:
             return None
         image = self.dgmc.routers[source].network_image()
+        key = (source, state.spec.connection_id)
+        cached = self._contact_cache.get(key)
+        if cached is not None and cached[0] == members and cached[1] is image:
+            return cached[2]
         dist, _ = spf.dijkstra(image, source)
-        reachable = [(dist[m], m) for m in members if m in dist]
-        if not reachable:
-            return None
-        return min(reachable)[1]
+        reachable = [(dist[m], m) for m in sorted(members) if m in dist]
+        contact = min(reachable)[1] if reachable else None
+        self._contact_cache[key] = (members, image, contact)
+        return contact
 
     # -- per-hop mechanics ----------------------------------------------------------
 
     def _local_tree_edges(self, switch: int, packet: McPacket) -> List[tuple]:
-        """Tree edges incident to ``switch`` in *its own* installed view."""
+        """Tree edges incident to ``switch`` in *its own* installed view.
+
+        Memoized per (switch, connection) keyed on installed-topology
+        identity: installs replace the McTopology object wholesale, so a
+        stale cache entry is detected by ``is`` without content hashing.
+        """
         state = self.dgmc.switches[switch].states.get(packet.connection_id)
         if state is None or state.installed is None:
             return []
-        trees = state.installed.tree_map()
+        key = (switch, packet.connection_id)
+        cached = self._edge_cache.get(key)
+        if cached is None or cached[0] is not state.installed:
+            incident: Dict[int, List[tuple]] = {
+                tree_key: [e for e in sorted(tree.edges) if switch in e]
+                for tree_key, tree in state.installed.trees
+            }
+            cached = (state.installed, incident)
+            self._edge_cache[key] = cached
         if state.spec.ctype is ConnectionType.ASYMMETRIC:
-            tree = trees.get(packet.source)
-        else:
-            tree = trees.get(SHARED)
-        if tree is None:
-            return []
-        return [e for e in sorted(tree.edges) if switch in e]
+            return cached[1].get(packet.source, [])
+        return cached[1].get(SHARED, [])
 
     def _on_tree(self, switch: int, packet: McPacket) -> bool:
         state = self.dgmc.switches[switch].states.get(packet.connection_id)
@@ -178,8 +212,25 @@ class ForwardingEngine:
             return
         seen.add(switch)
         self._deliver_local(switch, packet, record)
+        targets = self._forward_targets(switch, came_from, packet)
         if ttl <= 0:
+            if targets:
+                record.ttl_drops += 1  # the hop limit suppressed real fan-out
             return
+        for neighbor in targets:
+            record.hops += 1
+            self.dgmc.sim.schedule(
+                self._hop_cost(switch, neighbor),
+                lambda n=neighbor, s=switch: self._tree_arrive(
+                    n, s, packet, record, ttl - 1
+                ),
+            )
+
+    def _forward_targets(
+        self, switch: int, came_from: Optional[int], packet: McPacket
+    ) -> List[int]:
+        """Live tree neighbors the packet would fan out to from ``switch``."""
+        targets: List[int] = []
         for edge in self._local_tree_edges(switch, packet):
             neighbor = edge[0] if edge[1] == switch else edge[1]
             if neighbor == came_from:
@@ -188,13 +239,8 @@ class ForwardingEngine:
                 continue
             if not self.dgmc.net.link(switch, neighbor).up:
                 continue  # data-plane drop on a dead link
-            record.hops += 1
-            self.dgmc.sim.schedule(
-                self._hop_cost(switch, neighbor),
-                lambda n=neighbor, s=switch: self._tree_arrive(
-                    n, s, packet, record, ttl - 1
-                ),
-            )
+            targets.append(neighbor)
+        return targets
 
     def _unicast_arrive(
         self,
@@ -208,11 +254,12 @@ class ForwardingEngine:
         if self._on_tree(switch, packet):
             self._tree_arrive(switch, None, packet, record, ttl)
             return
-        if ttl <= 0:
-            return
         next_hop = self.dgmc.routers[switch].next_hop(contact)
         if next_hop is None or not self.dgmc.net.link(switch, next_hop).up:
             return  # unroutable right now: dropped
+        if ttl <= 0:
+            record.ttl_drops += 1  # the hop limit suppressed a live forward
+            return
         record.hops += 1
         self.dgmc.sim.schedule(
             self._hop_cost(switch, next_hop),

@@ -40,6 +40,9 @@ class DeliveryRecord:
     hops: int = 0
     #: Duplicate deliveries suppressed (same switch reached twice).
     duplicates: int = 0
+    #: Forwarding steps suppressed because the hop limit ran out (loop
+    #: guard for transiently inconsistent trees; see ForwardingEngine.ttl).
+    ttl_drops: int = 0
     #: True when the engine found no usable topology at the source.
     undeliverable: bool = False
 

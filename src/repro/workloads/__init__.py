@@ -11,7 +11,9 @@ are relatively evenly distributed over long periods of time."
 * :mod:`repro.workloads.traffic` -- datagram schedules for the MOSPF
   baseline (data-driven computations need data),
 * :mod:`repro.workloads.scenario` -- bundling of a topology, a connection,
-  and an event schedule into one runnable scenario.
+  and an event schedule into one runnable scenario,
+* :mod:`repro.workloads.zipf` -- Zipf-popularity group churn and traffic
+  batches with converged many-group bring-up, for the batched data plane.
 """
 
 from repro.workloads.membership import (
@@ -23,6 +25,11 @@ from repro.workloads.membership import (
 from repro.workloads.traffic import datagram_schedule_after_events
 from repro.workloads.scenario import Scenario
 from repro.workloads.failures import FailureInjector, FailureRecord
+from repro.workloads.zipf import (
+    ConvergedGroups,
+    ZipfWorkload,
+    zipf_churn_workload,
+)
 
 __all__ = [
     "ScheduledEvent",
@@ -33,4 +40,7 @@ __all__ = [
     "Scenario",
     "FailureInjector",
     "FailureRecord",
+    "ZipfWorkload",
+    "zipf_churn_workload",
+    "ConvergedGroups",
 ]

@@ -29,7 +29,7 @@ class TestHelp:
     @pytest.mark.parametrize(
         "command",
         ["figures", "compare", "trace", "profile", "hierarchy", "live",
-         "chaos", "stress"],
+         "chaos", "stress", "dataplane"],
     )
     def test_subcommand_help_exits_zero(self, command, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -42,7 +42,7 @@ class TestHelp:
             main(["--help"])
         out = capsys.readouterr().out
         for command in ("figures", "compare", "trace", "profile", "hierarchy",
-                        "live", "chaos", "stress"):
+                        "live", "chaos", "stress", "dataplane"):
             assert command in out
 
 
@@ -74,6 +74,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 6" in out and "Figure 8" in out
         assert " NO" not in out
+
+
+class TestDataplaneCommand:
+    def test_runs_and_checks_equivalence(self, capsys, tmp_path):
+        metrics = tmp_path / "dataplane.prom"
+        code = main(
+            ["dataplane", "--switches", "12", "--groups", "20",
+             "--phases", "1", "--events", "4", "--batches", "1",
+             "--batch-size", "32", "--reference-sample", "16",
+             "--mospf", "--metrics", str(metrics)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "deliveries identical to reference: True" in out
+        assert "speedup" in out
+        assert "MOSPF baseline" in out
+        text = metrics.read_text()
+        assert "dataplane_packets_total 32" in text
+        assert "dataplane_batches_total" in text
+
+    def test_reference_sample_zero_skips_check(self, capsys):
+        code = main(
+            ["dataplane", "--switches", "10", "--groups", "10",
+             "--phases", "1", "--events", "2", "--batches", "1",
+             "--batch-size", "16", "--reference-sample", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reference engine" not in out
 
 
 class TestStressCommand:

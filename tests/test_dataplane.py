@@ -1,10 +1,18 @@
-"""Tests for the multicast data plane: per-type delivery semantics."""
+"""Tests for the multicast data plane: per-type delivery semantics.
+
+The second half of the file covers the batched engine: compiled-state
+forwarding must be delivery-for-delivery identical to the per-packet
+reference engine at every quiescent dispatch point -- unit cases first,
+then a Hypothesis property over random topologies, connection types,
+membership interleavings, and TTL settings.
+"""
 
 from __future__ import annotations
 
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     DgmcNetwork,
@@ -14,7 +22,7 @@ from repro.core import (
     ProtocolConfig,
     Role,
 )
-from repro.dataplane import ForwardingEngine, McPacket
+from repro.dataplane import BatchForwardingEngine, ForwardingEngine, McPacket
 from repro.topo.generators import grid_network, ring_network, waxman_network
 
 
@@ -177,6 +185,260 @@ class TestChurnDisruption:
         record = engine.send(McPacket(0, 1), at=100.4)
         dgmc.run()
         assert 0.0 <= record.delivery_ratio <= 1.0
+
+
+class TestTtlGuard:
+    def test_ttl_zero_drops_at_source(self):
+        dgmc = deployment(net=grid_network(1, 5))
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(4, 1), at=20.0)
+        dgmc.run()
+        engine = ForwardingEngine(dgmc, ttl=0)
+        record = engine.send(McPacket(0, 1), at=100.0)
+        dgmc.run()
+        # Local delivery still happens; the single eligible out-edge is
+        # suppressed and counted exactly once.
+        assert set(record.delivered) == {0}
+        assert record.ttl_drops == 1
+        assert record.hops == 0
+
+    def test_ttl_exhausts_mid_tree(self):
+        # line 0-1-2-3-4: reaching 4 takes 4 hops; ttl=2 dies at switch 2.
+        dgmc = deployment(net=grid_network(1, 5))
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(4, 1), at=20.0)
+        dgmc.run()
+        engine = ForwardingEngine(dgmc, ttl=2)
+        record = engine.send(McPacket(0, 1), at=100.0)
+        dgmc.run()
+        assert set(record.delivered) == {0}
+        assert record.ttl_drops == 1
+        assert record.hops == 2
+
+    def test_ttl_zero_drops_unicast_stage(self):
+        dgmc = deployment(net=grid_network(1, 5), ctype="receiver-only")
+        dgmc.inject(JoinEvent(3, 1), at=10.0)
+        dgmc.inject(JoinEvent(4, 1), at=20.0)
+        dgmc.run()
+        engine = ForwardingEngine(dgmc, ttl=0)
+        record = engine.send(McPacket(0, 1), at=100.0)
+        dgmc.run()
+        assert not record.delivered
+        assert record.ttl_drops == 1
+
+    def test_default_ttl_is_generous(self):
+        dgmc = deployment(net=ring_network(6))
+        for i, sw in enumerate([0, 2, 4]):
+            dgmc.inject(JoinEvent(sw, 1), at=10.0 * (i + 1))
+        dgmc.run()
+        engine = ForwardingEngine(dgmc)
+        record = engine.send(McPacket(0, 1), at=100.0)
+        dgmc.run()
+        assert record.complete
+        assert record.ttl_drops == 0
+        assert engine.report.total_ttl_drops == 0
+
+
+def record_key(record):
+    """Every observable field of a delivery record, times included."""
+    return (
+        record.undeliverable,
+        record.intended,
+        record.hops,
+        record.duplicates,
+        record.ttl_drops,
+        tuple(sorted(record.delivered.items())),
+    )
+
+
+def assert_batched_matches_reference(dgmc, flows, *, ttl=None, hop_delay=None):
+    """Dispatch ``flows`` through both engines at one quiescent point."""
+    batched = BatchForwardingEngine(dgmc, hop_delay=hop_delay, ttl=ttl)
+    reference = ForwardingEngine(dgmc, hop_delay=hop_delay, ttl=ttl)
+    at = dgmc.sim.now + 1.0
+    batch_records = batched.dispatch(
+        [McPacket(src, m) for src, m in flows], at=at
+    )
+    ref_records = [
+        reference.send(McPacket(src, m), at=at) for src, m in flows
+    ]
+    dgmc.run()
+    for ref, bat in zip(ref_records, batch_records):
+        assert record_key(ref) == record_key(bat)
+    return batched
+
+
+class TestBatchedEngine:
+    def test_matches_reference_symmetric(self):
+        dgmc = deployment()
+        for i, sw in enumerate([0, 2, 4]):
+            dgmc.inject(JoinEvent(sw, 1), at=10.0 * (i + 1))
+        dgmc.run()
+        assert_batched_matches_reference(dgmc, [(0, 1), (2, 1), (4, 1)])
+
+    def test_matches_reference_receiver_only(self):
+        dgmc = deployment(net=grid_network(1, 5), ctype="receiver-only")
+        dgmc.inject(JoinEvent(3, 1), at=10.0)
+        dgmc.inject(JoinEvent(4, 1), at=20.0)
+        dgmc.run()
+        # off-tree senders ride the two-stage unicast path
+        assert_batched_matches_reference(dgmc, [(0, 1), (3, 1)])
+
+    def test_matches_reference_asymmetric(self):
+        dgmc = deployment(net=ring_network(6), ctype="asymmetric")
+        dgmc.inject(JoinEvent(0, 1, role=Role.SENDER), at=10.0)
+        dgmc.inject(JoinEvent(2, 1, role=Role.RECEIVER), at=20.0)
+        dgmc.inject(JoinEvent(4, 1, role=Role.RECEIVER), at=30.0)
+        dgmc.run()
+        # sender 0 has a source tree; 4 (receiver role) does not
+        assert_batched_matches_reference(dgmc, [(0, 1), (4, 1)])
+
+    def test_matches_reference_with_ttl(self):
+        dgmc = deployment(net=grid_network(1, 5))
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(4, 1), at=20.0)
+        dgmc.run()
+        for ttl in (0, 2, None):
+            assert_batched_matches_reference(dgmc, [(0, 1)], ttl=ttl)
+
+    def test_undeliverable_without_state(self):
+        dgmc = deployment()
+        assert_batched_matches_reference(dgmc, [(0, 1)])
+
+    def test_invalidates_on_membership_install(self):
+        dgmc = deployment(net=ring_network(8))
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(2, 1), at=20.0)
+        dgmc.run()
+        engine = assert_batched_matches_reference(dgmc, [(0, 1)])
+        before = engine._template(1, 0)
+        dgmc.inject(JoinEvent(5, 1), at=dgmc.sim.now + 10.0)
+        dgmc.run()
+        # the install log advanced: the next dispatch recompiles and the
+        # new member appears in the deliveries
+        record = engine.dispatch([McPacket(0, 1)], at=dgmc.sim.now + 1.0)[0]
+        assert 5 in record.delivered
+        assert engine._template(1, 0) is not before
+
+    def test_invalidates_on_link_event(self):
+        dgmc = deployment(net=ring_network(6))
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(1, 1), at=20.0)
+        dgmc.run()
+        engine = assert_batched_matches_reference(dgmc, [(0, 1)])
+        dgmc.inject(LinkEvent(0, 0, 1, up=False), at=dgmc.sim.now + 10.0)
+        dgmc.run()
+        # liveness is baked into the compiled arrays: the Network.version
+        # bump must drop them, and the re-dispatch matches the reference
+        # on the repaired tree (the long way around the ring)
+        assert_batched_matches_reference(dgmc, [(0, 1)])
+        record = engine.dispatch([McPacket(0, 1)], at=dgmc.sim.now + 1.0)[0]
+        assert record.complete
+        assert record.hops >= 4
+
+    def test_explicit_invalidate_recompiles(self):
+        dgmc = deployment()
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(3, 1), at=20.0)
+        dgmc.run()
+        engine = BatchForwardingEngine(dgmc)
+        engine.dispatch([McPacket(0, 1)], at=dgmc.sim.now + 1.0)
+        assert engine._compiled
+        engine.invalidate()
+        assert not engine._compiled
+        engine.invalidate(1)  # idempotent on absent state
+        assert_batched_matches_reference(dgmc, [(0, 1)])
+
+    def test_dataplane_counters(self):
+        dgmc = deployment()
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(3, 1), at=20.0)
+        dgmc.run()
+        engine = BatchForwardingEngine(dgmc)
+        packets = [McPacket(0, 1) for _ in range(4)]
+        engine.dispatch(packets, at=dgmc.sim.now + 1.0)
+        samples = dgmc.metrics.snapshot()
+        assert samples["dataplane_batches_total"] == 1
+        assert samples["dataplane_packets_total"] == 4
+        assert samples["dataplane_compiled_connections_total"] == 1
+        assert samples["dataplane_template_builds_total"] == 1
+        # one build, three same-flow hits
+        assert samples["dataplane_template_hits_total"] == 3
+
+    def test_batch_dispatch_span_emitted(self):
+        from repro.obs.tracer import RingBufferSink, Tracer, use_tracer
+
+        dgmc = deployment()
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(3, 1), at=20.0)
+        dgmc.run()
+        tracer = Tracer(enabled=True)
+        sink = RingBufferSink()
+        tracer.add_sink(sink)
+        with use_tracer(tracer):
+            engine = BatchForwardingEngine(dgmc)
+            engine.dispatch([McPacket(0, 1)], at=dgmc.sim.now + 1.0)
+        names = [e.name for e in sink.events()]
+        assert "batch_dispatch" in names
+
+    def test_send_is_single_packet_dispatch(self):
+        dgmc = deployment()
+        dgmc.inject(JoinEvent(0, 1), at=10.0)
+        dgmc.inject(JoinEvent(3, 1), at=20.0)
+        dgmc.run()
+        engine = BatchForwardingEngine(dgmc)
+        record = engine.send(McPacket(0, 1), at=dgmc.sim.now + 1.0)
+        assert record.complete
+        assert engine.report.packets == 1
+
+
+@st.composite
+def equivalence_runs(draw):
+    """Random topology + churn interleaving + dispatch plan."""
+    n = draw(st.integers(5, 14))
+    topo_seed = draw(st.integers(0, 4000))
+    ctype = draw(
+        st.sampled_from(["symmetric", "receiver-only", "asymmetric"])
+    )
+    steps = draw(st.integers(1, 3))
+    churn_seed = draw(st.integers(0, 4000))
+    ttl = draw(st.sampled_from([None, None, 0, 3]))
+    return n, topo_seed, ctype, steps, churn_seed, ttl
+
+
+@given(equivalence_runs())
+@settings(max_examples=25, deadline=None)
+def test_batched_engine_equals_reference_under_churn(run):
+    """The PR's core property: at every quiescent point of a random
+    churn interleaving, batched records equal reference records field
+    for field -- exact delivery timestamps included."""
+    n, topo_seed, ctype, steps, churn_seed, ttl = run
+    net = waxman_network(n, random.Random(topo_seed))
+    dgmc = deployment(net=net, ctype=ctype)
+    rng = random.Random(churn_seed)
+    members: set[int] = set()
+    roles = (
+        [Role.SENDER, Role.RECEIVER, Role.BOTH]
+        if ctype == "asymmetric"
+        else [None]
+    )
+    for _ in range(steps):
+        for _ in range(rng.randint(1, 4)):
+            t = dgmc.sim.now + 1.0 + rng.random() * 5.0
+            absent = [x for x in range(n) if x not in members]
+            if absent and (len(members) < 2 or rng.random() < 0.6):
+                sw = rng.choice(absent)
+                dgmc.inject(JoinEvent(sw, 1, role=rng.choice(roles)), at=t)
+                members.add(sw)
+            else:
+                sw = rng.choice(sorted(members))
+                dgmc.inject(LeaveEvent(sw, 1), at=t)
+                members.discard(sw)
+        dgmc.run()  # quiesce: the equivalence contract's dispatch point
+        sources = rng.sample(range(n), min(n, 4))
+        assert_batched_matches_reference(
+            dgmc, [(src, 1) for src in sources], ttl=ttl
+        )
 
 
 class TestReport:

@@ -37,12 +37,13 @@ class TestReportSchema:
 
     def test_every_benchmark_reports_wall_time(self, regress, quick_report):
         benches = quick_report["benchmarks"]
-        # The ispf pair and the live SLO bench only run under their own
-        # --mode (or --only).
+        # The ispf pair, the live SLO bench, and the dataplane pair only
+        # run under their own --mode (or --only).
         expected = (
             set(regress.BENCHMARKS)
             - set(regress.ISPF_BENCHMARKS)
             - set(regress.CONVERGENCE_BENCHMARKS)
+            - set(regress.DATAPLANE_BENCHMARKS)
         )
         assert set(benches) == expected
         for record in benches.values():
@@ -108,6 +109,50 @@ class TestIspfGate:
         failures = regress.check_invariants(report)
         assert len(failures) == 4
         # The relaxation gate only applies at acceptance scale (n >= 100).
+        report["sizes"] = [16]
+        assert len(regress.check_invariants(report)) == 3
+
+
+class TestDataplaneGate:
+    def test_throughput_reports_identical_deliveries(self, regress):
+        report = regress.run_benchmarks("quick", only=["dataplane_throughput"])
+        assert set(report["benchmarks"]) == {"dataplane_throughput"}
+        dp = report["benchmarks"]["dataplane_throughput"]
+        assert dp["identical_deliveries"] is True
+        assert dp["mismatches"] == 0
+        assert dp["batched_pps"] > 0
+        assert dp["delivery_p99_sim"] >= dp["delivery_p50_sim"]
+        # the >= 10x speedup gate only applies at acceptance scale
+        assert regress.check_invariants(report) == []
+
+    def test_contrast_counts_mospf_computations(self, regress):
+        report = regress.run_benchmarks("quick", only=["dataplane_contrast"])
+        dc = report["benchmarks"]["dataplane_contrast"]
+        assert dc["mospf_computations_per_datagram"] > 0
+        assert dc["dgmc_data_path_computations"] == 0
+        assert dc["batched_pps"] > dc["mospf_pps"]
+        assert regress.check_invariants(report) == []
+
+    def test_dataplane_violations_are_reported(self, regress):
+        report = {
+            "sizes": [20, 100],
+            "benchmarks": {
+                "dataplane_throughput": {
+                    "reference_packets": 360,
+                    "identical_deliveries": False,
+                    "mismatches": 3,
+                    "speedup": 4.0,
+                },
+                "dataplane_contrast": {
+                    "mospf_computations_per_datagram": 0.0,
+                    "batched_pps": 100.0,
+                    "mospf_pps": 200.0,
+                },
+            },
+        }
+        failures = regress.check_invariants(report)
+        assert len(failures) == 4
+        # The speedup gate only applies at acceptance scale (n >= 100).
         report["sizes"] = [16]
         assert len(regress.check_invariants(report)) == 3
 
