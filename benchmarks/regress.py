@@ -46,6 +46,19 @@ Benchmarks:
   churn + traffic through the MOSPF baseline, whose data-driven
   shortest-path computations D-GMC's data plane never performs
   (see docs/dataplane.md).
+* ``frr_blackhole_soak`` / ``frr_backup_compute`` (``--mode frr``
+  only) -- the fast-reroute gates (docs/fast-reroute.md): a pinned-seed
+  failure/heal soak at n = 20 fails backup-covered installed-tree edges
+  and streams on-tree traffic through the blackhole window (packets
+  whose whole flight fits between failure detection and the first
+  reinstall).  With FRR enabled the window loses **zero** packets; the
+  paired FRR-off arm must measurably lose packets on the identical
+  schedule (that loss *is* the paper's blackhole window), and both arms
+  must reconcile to byte-identical installed trees after the repair
+  cycle converges.  ``--disable-frr`` skips the protected arm to
+  demonstrate the raw loss.  The backup-compute row times
+  ``compute_backup_plan`` on an installed tree; its wall time is gated
+  against the committed baseline like every benchmark.
 
 Every report embeds the process-wide metrics registry's sample deltas
 (``"metrics"``), and each run also writes ``TRACE_<mode>.json`` (Chrome
@@ -115,6 +128,10 @@ MODES: Dict[str, tuple] = {
     # acceptance criterion measures; the MOSPF contrast runs at the
     # small size (its per-datagram SPF makes large sizes prohibitive).
     "dataplane": ((20, 100), 1),
+    # The fast-reroute gate: n=20 satisfies the soak's n >= 20
+    # acceptance criterion while keeping the paired FRR-on/off arms
+    # deterministic and fast.
+    "frr": ((20,), 1),
 }
 
 #: Benchmarks that only run under --mode ispf (and via --only).
@@ -125,6 +142,14 @@ CONVERGENCE_BENCHMARKS = ("convergence_slo",)
 
 #: Benchmarks that only run under --mode dataplane (and via --only).
 DATAPLANE_BENCHMARKS = ("dataplane_throughput", "dataplane_contrast")
+
+#: Benchmarks that only run under --mode frr (and via --only).
+FRR_BENCHMARKS = ("frr_blackhole_soak", "frr_backup_compute")
+
+#: Set by --disable-frr: the soak then runs only the unprotected arm,
+#: demonstrating the raw blackhole-window loss (the zero-loss and
+#: reconciliation gates are skipped because the protected arm never ran).
+DISABLE_FRR = False
 
 
 # -- benchmark bodies --------------------------------------------------------
@@ -669,6 +694,190 @@ def bench_dataplane_contrast(sizes, graphs) -> Dict[str, object]:
     }
 
 
+def _frr_soak_arm(n: int, seed: int, enable_frr: bool, cycles: int) -> Dict[str, object]:
+    """One arm of the blackhole soak: fail covered tree edges, stream traffic.
+
+    Converges a 6-member group, then per cycle fails one backup-covered
+    installed-tree edge (rotating deterministically), streams on-tree
+    packets across the failure, and heals.  A packet counts as *in the
+    blackhole window* when every switch still held the pre-failure
+    topology both at send time and one flight-guard later -- i.e. its
+    whole flight ran between local failure detection and the first
+    reinstall, the exact window fast reroute must cover.  Packets that
+    straddle the staggered reinstall see transiently mixed tree views;
+    that reconvergence cost predates FRR (see docs/dataplane.md) and is
+    reported separately as ``lost_total``.
+    """
+    import random
+
+    from repro.core.events import LinkEvent
+    from repro.dataplane.forwarding import ForwardingEngine
+    from repro.dataplane.packet import McPacket
+    from repro.frr import compute_backup_plan
+
+    rng = random.Random(seed)
+    net = waxman_network(n, rng)
+    # A long Tc keeps the detection->reinstall window wide open (the
+    # paper's compute-dominated regime) so the soak samples it densely.
+    dgmc = DgmcNetwork(
+        net,
+        ProtocolConfig(compute_time=2.0, per_hop_delay=0.05, enable_frr=enable_frr),
+    )
+    dgmc.register_symmetric(1)
+    members = sorted(rng.sample(range(n), 6))
+    t = 1.0
+    for member in members:
+        dgmc.inject(JoinEvent(member, 1), at=t)
+        t += 1.0
+    dgmc.run()
+
+    engine = ForwardingEngine(dgmc, hop_delay=0.01)
+    dt, window, guard = 0.05, 5.0, 0.25
+    sent = lost = window_sent = window_lost = covered_cycles = 0
+    for cycle in range(cycles):
+        states = dgmc.states_for(1)
+        state = states[members[0]]
+        if state.installed is None:
+            raise AssertionError("FRR soak: no installed tree at a stable point")
+        # Bridges have no loop-free detour (BackupPlan.uncovered); the
+        # zero-loss claim is scoped to edges a fragment can protect.
+        plan = compute_backup_plan(
+            state.installed, dgmc.routers[members[0]].network_image()
+        )
+        covered = [
+            e for e in sorted(state.installed.all_edges()) if plan.covers(*e)
+        ]
+        if not covered:
+            continue
+        u, v = covered[cycle % len(covered)]
+        covered_cycles += 1
+        old = {x: st.installed for x, st in states.items()}
+
+        def uniform_old() -> bool:
+            return all(
+                st.installed is old[x] for x, st in dgmc.states_for(1).items()
+            )
+
+        t0 = dgmc.sim.now + 1.0
+        dgmc.inject(LinkEvent(u, u, v, up=False), at=t0)
+        records: List[object] = []
+        at_send: List[bool] = []
+        at_guard: List[bool] = []
+        for k in range(int(window / dt)):
+            at = t0 + k * dt
+            records.append(engine.send(McPacket(members[0], 1), at=at))
+            at_send.append(False)
+            at_guard.append(False)
+
+            def probe_send(i=len(at_send) - 1):
+                at_send[i] = uniform_old()
+
+            def probe_guard(i=len(at_guard) - 1):
+                at_guard[i] = uniform_old()
+
+            dgmc.sim.schedule_at(at, probe_send)
+            dgmc.sim.schedule_at(at + guard, probe_guard)
+        dgmc.run()
+        sent += len(records)
+        lost += sum(1 for r in records if not r.complete)
+        in_window = [a and b for a, b in zip(at_send, at_guard)]
+        window_sent += sum(in_window)
+        window_lost += sum(
+            1 for r, f in zip(records, in_window) if f and not r.complete
+        )
+        dgmc.inject(LinkEvent(u, u, v, up=True), at=dgmc.sim.now + 1.0)
+        dgmc.run()
+
+    agreed, detail = dgmc.agreement(1)
+    if not agreed:
+        raise AssertionError(f"disagreement in FRR soak (frr={enable_frr}): {detail}")
+    return {
+        "sent": sent,
+        "lost_total": lost,
+        "window_sent": window_sent,
+        "window_lost": window_lost,
+        "covered_cycles": covered_cycles,
+        "blob": _topology_blob(dgmc, 1),
+    }
+
+
+def bench_frr_blackhole_soak(sizes, graphs) -> Dict[str, object]:
+    """Paired failure/heal soak: blackhole-window loss with and without FRR.
+
+    Gated invariants (see :func:`check_invariants`): the FRR arm loses
+    **zero** in-window packets, the FRR-off arm on the identical seeded
+    schedule loses a nonzero number (the measured blackhole), and after
+    every repair cycle converges both arms hold byte-identical installed
+    topologies -- backup activation leaves no trace in control state.
+    """
+    n = max(sizes)
+    cycles = 3
+    off = _frr_soak_arm(n, seed=1996, enable_frr=False, cycles=cycles)
+    record: Dict[str, object] = {
+        "switches": n,
+        "cycles": cycles,
+        "covered_cycles": off["covered_cycles"],
+        "packets_per_arm": off["sent"],
+        "window_packets": off["window_sent"],
+        "lost_in_window_no_frr": off["window_lost"],
+        "lost_total_no_frr": off["lost_total"],
+        "frr_arm": not DISABLE_FRR,
+    }
+    if not DISABLE_FRR:
+        on = _frr_soak_arm(n, seed=1996, enable_frr=True, cycles=cycles)
+        record["lost_in_window_frr"] = on["window_lost"]
+        record["lost_total_frr"] = on["lost_total"]
+        record["reconciled_identical"] = on["blob"] == off["blob"]
+    return record
+
+
+def bench_frr_backup_compute(sizes, graphs) -> Dict[str, object]:
+    """Backup-fragment precomputation cost on one installed tree.
+
+    The per-plan cost is what every switch pays inside the install hook
+    when ``enable_frr`` is set; the benchmark's wall time (reps * plan)
+    is gated against the committed baseline, bounding regressions in the
+    detour search.  Coverage counters are deterministic for the seed.
+    """
+    import random
+
+    from repro.frr import compute_backup_plan
+
+    n = max(sizes)
+    rng = random.Random(1996)
+    net = waxman_network(n, rng)
+    dgmc = DgmcNetwork(net, ProtocolConfig(compute_time=0.5, per_hop_delay=0.05))
+    dgmc.register_symmetric(1)
+    members = sorted(rng.sample(range(n), 8))
+    t = 1.0
+    for member in members:
+        dgmc.inject(JoinEvent(member, 1), at=t)
+        t += 1.0
+    dgmc.run()
+    state = dgmc.states_for(1)[members[0]]
+    if state.installed is None:
+        raise AssertionError("frr_backup_compute: no installed tree")
+    image = dgmc.routers[members[0]].network_image()
+    reps = 200
+    start = time.perf_counter()
+    for _ in range(reps):
+        plan = compute_backup_plan(state.installed, image)
+    per_plan_s = (time.perf_counter() - start) / reps
+    tree_edges = len(state.installed.all_edges())
+    return {
+        "switches": n,
+        "members": len(members),
+        "tree_edges": tree_edges,
+        "fragments": len(plan.fragments),
+        "uncovered": len(plan.uncovered),
+        "reps": reps,
+        "per_plan_ms": round(per_plan_s * 1e3, 4),
+        "per_edge_us": round(
+            per_plan_s / tree_edges * 1e6 if tree_edges else 0.0, 2
+        ),
+    }
+
+
 BENCHMARKS: Dict[str, Callable] = {
     "exp1_churn": bench_exp1_churn,
     "exp2_churn": bench_exp2_churn,
@@ -680,6 +889,8 @@ BENCHMARKS: Dict[str, Callable] = {
     "convergence_slo": bench_convergence_slo,
     "dataplane_throughput": bench_dataplane_throughput,
     "dataplane_contrast": bench_dataplane_contrast,
+    "frr_blackhole_soak": bench_frr_blackhole_soak,
+    "frr_backup_compute": bench_frr_backup_compute,
 }
 
 #: Keys gated with --count-tolerance when present in both runs (wall time
@@ -697,6 +908,7 @@ COUNTER_KEYS = (
     "mospf_tree_computations",
     "delivery_p50_sim",
     "delivery_p99_sim",
+    "fragments",
 )
 
 #: Wall-latency keys (milliseconds) gated with a dedicated, generous
@@ -733,10 +945,14 @@ def run_benchmarks(mode: str, only: Optional[List[str]] = None) -> Dict[str, obj
         elif mode == "dataplane":
             if name not in DATAPLANE_BENCHMARKS:
                 continue
+        elif mode == "frr":
+            if name not in FRR_BENCHMARKS:
+                continue
         elif (
             name in ISPF_BENCHMARKS
             or name in CONVERGENCE_BENCHMARKS
             or name in DATAPLANE_BENCHMARKS
+            or name in FRR_BENCHMARKS
         ):
             continue
         start = time.perf_counter()
@@ -902,6 +1118,52 @@ def check_invariants(report: Dict[str, object]) -> List[str]:
                 f"({dc['batched_pps']:.0f} pkt/s) is not faster than the "
                 f"MOSPF baseline ({dc['mospf_pps']:.0f} pkt/s)"
             )
+    fb = benches.get("frr_blackhole_soak")
+    if fb is not None:
+        if fb["covered_cycles"] <= 0:
+            failures.append(
+                "frr_blackhole_soak: no backup-covered tree edge was ever "
+                "failed -- the soak never exercised fast reroute"
+            )
+        if fb["window_packets"] <= 0:
+            failures.append(
+                "frr_blackhole_soak: the blackhole window contained no "
+                "packets -- the detection->reinstall window closed before "
+                "traffic sampled it"
+            )
+        if fb["lost_in_window_no_frr"] <= 0:
+            failures.append(
+                "frr_blackhole_soak: the FRR-off arm lost no in-window "
+                "packets -- the blackhole the protection must close was "
+                "never measured"
+            )
+        if fb.get("frr_arm"):
+            if fb["lost_in_window_frr"] != 0:
+                failures.append(
+                    "frr_blackhole_soak: "
+                    f"{fb['lost_in_window_frr']} on-tree packets lost in "
+                    "the detection->reinstall window despite an active "
+                    "backup fragment (must be zero)"
+                )
+            if not fb["reconciled_identical"]:
+                failures.append(
+                    "frr_blackhole_soak: after repair convergence the "
+                    "FRR and never-FRR runs hold different installed "
+                    "topologies -- backup state leaked into control state"
+                )
+    bc = benches.get("frr_backup_compute")
+    if bc is not None:
+        if bc["fragments"] <= 0:
+            failures.append(
+                "frr_backup_compute: no backup fragments were computed "
+                "for the installed tree"
+            )
+        if bc["fragments"] + bc["uncovered"] != bc["tree_edges"]:
+            failures.append(
+                "frr_backup_compute: fragments + uncovered "
+                f"({bc['fragments']} + {bc['uncovered']}) != tree edges "
+                f"({bc['tree_edges']}) -- the plan lost track of an edge"
+            )
     return failures
 
 
@@ -1027,8 +1289,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="write this run's report to the baseline path",
     )
+    parser.add_argument(
+        "--disable-frr",
+        action="store_true",
+        help="run the frr soak without the protected arm, demonstrating "
+        "the raw blackhole-window loss (mode frr only)",
+    )
     args = parser.parse_args(argv)
 
+    global DISABLE_FRR
+    DISABLE_FRR = args.disable_frr
     print(f"regress: mode={args.mode}", flush=True)
     report = run_benchmarks(args.mode, only=args.only)
 

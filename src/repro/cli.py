@@ -259,6 +259,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         trace_dir=args.trace_dir,
         flight_dir=args.flight_dir,
         ablate_member_stamp=args.disable_m_vector,
+        frr=args.frr,
     )
     report = run_chaos_soak_sync(settings)
     for line in report.summary_lines():
@@ -315,6 +316,8 @@ def _cmd_stress(args: argparse.Namespace) -> int:
         overrides["ablate_member_stamp"] = True
     if args.disable_degraded_repair:
         overrides["ablate_degraded_repair"] = True
+    if args.frr:
+        overrides["enable_frr"] = True
 
     if args.replay:
         ce = Counterexample.load(args.replay)
@@ -619,6 +622,12 @@ def build_parser() -> argparse.ArgumentParser:
         "broken protocol; pairs with --expect-violation)",
     )
     p.add_argument(
+        "--frr",
+        action="store_true",
+        help="enable fast reroute: precomputed backup fragments activate "
+        "on local failure detection and reconcile on repair install",
+    )
+    p.add_argument(
         "--expect-violation",
         action="store_true",
         help="invert the exit code: succeed only if the soak violated an "
@@ -688,6 +697,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--disable-degraded-repair",
         action="store_true",
         help="ablate degraded-tree repair on link-up (should break)",
+    )
+    p.add_argument(
+        "--frr",
+        action="store_true",
+        help="explore with fast reroute enabled (backup-fragment state "
+        "is canonically invisible, so the state space must match)",
     )
     p.add_argument(
         "--out",

@@ -63,6 +63,14 @@ class ProtocolConfig:
     * ``ablate_degraded_repair`` -- drop degraded-tree repair on link-up:
       a recovered link triggers no re-proposal even when the installed
       topology no longer spans the member set.
+
+    Fast reroute (default off so the default deployments stay
+    bit-identical to the pre-FRR behavior, counters included):
+
+    * ``enable_frr`` -- precompute per-tree-edge backup fragments at
+      install time (:mod:`repro.frr`) and activate them locally on link
+      failure, closing the data-plane blackhole window before the
+      flood/proposal cycle converges; see docs/fast-reroute.md.
     """
 
     compute_time: ComputeTime = 1.0
@@ -73,6 +81,7 @@ class ProtocolConfig:
     ablate_re_gate: bool = False
     ablate_member_stamp: bool = False
     ablate_degraded_repair: bool = False
+    enable_frr: bool = False
 
     def resolve_compute_time(self, state: McState) -> float:
         if callable(self.compute_time):
@@ -180,6 +189,14 @@ class DgmcNetwork:
         self._duplicate_lsas = self.metrics.counter(
             "lsa_duplicates_total", "stale non-MC LSAs rejected on receive"
         )
+        self._frr_activations = self.metrics.counter(
+            "frr_activations_total",
+            "backup fragments activated by local failure detection",
+        )
+        self._frr_retired = self.metrics.counter(
+            "frr_retired_total",
+            "active backup fragments retired by a reconciling install",
+        )
         for x in net.switches():
             switch = DgmcSwitch(
                 self.sim,
@@ -208,6 +225,26 @@ class DgmcNetwork:
         self.install_log.append(
             InstallRecord(self.sim.now, switch, connection_id, stamp, proposer)
         )
+        state = self.switches[switch].states.get(connection_id)
+        if state is not None:
+            retired = state.take_frr_retirements()
+            if retired:
+                self._frr_retired.inc(retired)
+
+    def _activate_frr(self, endpoint: int, u: int, v: int) -> None:
+        """Local O(1) switchover at one endpoint of a failed edge.
+
+        Runs before any LSA floods: only the endpoint's own states are
+        touched, no stamps move, and the eventual re-proposed install
+        retires the fragments (see docs/fast-reroute.md).
+        """
+        if not self.config.enable_frr or endpoint in self.dead_switches:
+            return
+        from repro.frr import activate_for_edge
+
+        activated = activate_for_edge(self.switches[endpoint].states, u, v)
+        if activated:
+            self._frr_activations.inc(len(activated))
 
     def _deliver(self, switch_id: int, payload) -> None:
         """Fabric delivery hook: route LSAs to the right protocol layer."""
@@ -332,6 +369,8 @@ class DgmcNetwork:
 
     def _detect_link_change(self, detector: int, other: int, up: bool) -> None:
         """One endpoint notices an incident link change and reacts."""
+        if not up:
+            self._activate_frr(detector, detector, other)
         self.routers[detector].notify_incident_link_event()
         switch = self.switches[detector]
         synthetic = LinkEvent(detector, detector, other, up=up)
@@ -347,6 +386,11 @@ class DgmcNetwork:
         self._check_alive(event.detector)
         self.events_injected += 1
         self.net.set_link_state(event.u, event.v, event.up)
+        if not event.up:
+            # Both endpoints lose light locally and switch their data
+            # planes over before the detector's LSA reaches anyone.
+            self._activate_frr(event.u, event.u, event.v)
+            self._activate_frr(event.v, event.u, event.v)
         detector = self.switches[event.detector]
         # The unicast layer floods exactly one non-MC LSA (Figure 2) and
         # updates the detector's own image.

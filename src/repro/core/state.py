@@ -79,6 +79,27 @@ class McState:
         #: (observability only; deliberately absent from :meth:`canonical`
         #: so the systematic explorer's dedup ignores it).
         self.trace_ctx = None
+        #: Fast-reroute state (populated only under ProtocolConfig.enable_frr;
+        #: see repro.frr and docs/fast-reroute.md).  All three fields are
+        #: data-plane-only and deliberately absent from :meth:`canonical`
+        #: and the wire-level tree encoding: control-plane agreement and
+        #: byte-identity are untouched whether or not FRR ever fired.
+        #:
+        #: The per-edge backup fragments precomputed at install time.
+        self.backup_plan = None
+        #: Currently activated fragments, keyed by protected (canonical)
+        #: edge.  Non-empty only between a local failure detection and the
+        #: reconciling install that retires them.
+        self.active_backup: Dict[Tuple[int, int], object] = {}
+        #: Monotone epoch bumped on every activation/retirement -- the
+        #: batched data plane's cheap change detector for this state.
+        self.frr_epoch = 0
+        #: Set when an install retires active fragments; the install hooks
+        #: (simulator and live fabric) consume it to count frr_retired.
+        self.frr_retired_pending = 0
+        #: Lifetime activation/retirement totals (diagnostics).
+        self.frr_activations = 0
+        self.frr_retired = 0
 
     # -- membership ------------------------------------------------------------
 
@@ -152,12 +173,45 @@ class McState:
         now: float,
         proposer: int,
     ) -> None:
-        """Adopt a topology: set C and update "routing entries"."""
+        """Adopt a topology: set C and update "routing entries".
+
+        Installing reconciles fast reroute: any active backup fragments
+        are retired (the re-proposed tree is the repair) and the stale
+        plan is dropped -- the install path recomputes it against the new
+        topology when FRR is enabled.
+        """
         self.installed = topology
         self.current_stamp = tuple(stamp)
         self.current_proposer = proposer
         self.last_install_time = now
         self.proposals_accepted += 1
+        self.backup_plan = None
+        if self.active_backup:
+            self.frr_retired += len(self.active_backup)
+            self.frr_retired_pending += len(self.active_backup)
+            self.active_backup = {}
+            self.frr_epoch += 1
+
+    # -- fast reroute -------------------------------------------------------------
+
+    def activate_backup(self, fragment) -> bool:
+        """Switch the data plane over to ``fragment`` (idempotent).
+
+        Returns True when the fragment was newly activated.  Purely
+        local: no LSA, no stamp movement, no canonical-state change.
+        """
+        if fragment.edge in self.active_backup:
+            return False
+        self.active_backup[fragment.edge] = fragment
+        self.frr_epoch += 1
+        self.frr_activations += 1
+        return True
+
+    def take_frr_retirements(self) -> int:
+        """Consume the retired-by-install count (install hooks call this)."""
+        count = self.frr_retired_pending
+        self.frr_retired_pending = 0
+        return count
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -491,6 +491,18 @@ class DgmcSwitch:
 
     def _install_body(self, state: McState, topology, stamp, proposer: int) -> None:
         state.install(topology, stamp, self.sim.now, proposer=proposer)
+        if self.config.enable_frr:
+            # Reconcile fast reroute: the install itself retired any active
+            # fragments (the re-proposed tree IS the repair); precompute
+            # fresh fragments against the new topology so the next failure
+            # switches over in O(1).  Installs are arbitrated to identical
+            # topologies over identical images, so every switch derives
+            # the same plan without coordination.
+            from repro.frr import compute_backup_plan
+
+            state.backup_plan = compute_backup_plan(
+                topology, self.router.network_image()
+            )
         if self.on_install is not None:
             self.on_install(
                 self.switch_id, state.spec.connection_id, tuple(stamp), proposer
@@ -541,6 +553,10 @@ class DgmcSwitch:
             members=tuple(sorted(state.members.items())),
             topology=topology,
             ctx=state.trace_ctx,
+            active_backup=tuple(
+                (edge[0], edge[1], fragment.path)
+                for edge, fragment in sorted(state.active_backup.items())
+            ),
         )
 
     def capture_resync_snapshots(self) -> list:
@@ -606,12 +622,58 @@ class DgmcSwitch:
                 state, decode_topology(snap.topology), snap.current, snap.proposer
             )
             changed = True
+        if self._adopt_backup_fragments(state, snap):
+            changed = True
         if changed and state.covers_new_events():
             state.make_proposal_flag = True
             self.sim.spawn(
                 self._resync_kick(snap.connection_id, state),
                 name=f"ResyncKick(sw={self.switch_id}, m={snap.connection_id})",
             )
+        return changed
+
+    def _adopt_backup_fragments(self, state: McState, snap) -> bool:
+        """Adopt the peer's active fast-reroute fragments (resync merge).
+
+        FRR activation is local to the endpoints that detect a failure;
+        a switch healing from a partition may hold the same installed
+        topology but have missed the activation window, leaving its data
+        plane pointed at the dead edge until the repair cycle converges.
+        Resync therefore carries the active-backup set: fragments are
+        adopted only when both sides agree on the installed topology
+        (the snapshot's (stamp, proposer) matches ours after the merge
+        above -- which also holds immediately after the snapshot's own
+        topology installed) and only for edges still on the installed
+        tree.  The adopted cost is re-priced against the local image;
+        like all FRR state this never touches canonical state, so the
+        gossip lattice stays monotone (activation is idempotent and
+        installs retire fragments atomically).
+        """
+        backups = getattr(snap, "active_backup", ())
+        if (
+            not backups
+            or not self.config.enable_frr
+            or state.installed is None
+            or tuple(snap.current) != state.current_stamp
+            or snap.proposer != state.current_proposer
+        ):
+            return False
+        from repro.frr import BackupFragment
+
+        image = self.router.network_image()
+        tree_edges = state.installed.all_edges()
+        changed = False
+        for u, v, path in backups:
+            edge = (u, v) if u <= v else (v, u)
+            if edge not in tree_edges or edge in state.active_backup:
+                continue
+            cost = 0.0
+            for a, b in zip(path, path[1:]):
+                cost += image.get(a, {}).get(b, 0.0)
+            if state.activate_backup(
+                BackupFragment(edge=edge, path=tuple(path), cost=cost)
+            ):
+                changed = True
         return changed
 
     def _resync_kick(self, connection_id: int, state: McState):

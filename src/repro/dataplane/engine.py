@@ -25,8 +25,25 @@ Invalidation (the seam the future CSR graph core plugs into):
   scans the new suffix and drops compiled state and templates for
   exactly the touched connections.
 * **physical generation** -- ``Network.version`` advances on every link
-  add or up/down flip; any change drops *all* compiled state (hop costs
-  and liveness are baked into the arrays).
+  add or up/down flip.  When :meth:`~repro.topo.graph.Network.
+  up_delta_since` can name the single changed link, only connections
+  whose compiled state *depends* on it (a tree edge, an active detour
+  link, or any unicast-stage template) are dropped -- counted by
+  ``dataplane_partial_invalidations_total`` -- so one failure does not
+  recompile every unrelated group; a wider gap falls back to dropping
+  everything.
+* **fast-reroute epoch** -- backup fragment activation/retirement
+  mutates :class:`~repro.core.state.McState` without an install record
+  or a version bump; under ``enable_frr`` the engine snapshots each
+  connection's summed ``frr_epoch`` at compile time and re-checks it on
+  refresh (scoped drop on change).  With FRR off this scan never runs.
+
+Active backup fragments compile as *splices*: a dead tree edge covered
+by an activated fragment becomes one logical CSR entry to the far
+endpoint whose cost is the detour's left-to-right link-delay sum and
+whose hop span is the detour length, so stamped timestamps, hop counts,
+and TTL behavior match the reference engine's tunnel semantics bit for
+bit.
 
 Equivalence contract: dispatching at a quiescent point (no in-flight
 LSAs, proposals, or membership churn) produces records identical to the
@@ -48,13 +65,16 @@ from repro.core.mc import ConnectionType
 from repro.core.protocol import DgmcNetwork
 from repro.dataplane.forwarding import DeliveryReport
 from repro.dataplane.packet import DeliveryRecord, McPacket
+from repro.frr import detour_delay, detour_is_live
 from repro.lsr import spf
 from repro.obs import tracer as tracer_module
 from repro.trees.algorithms import RECEIVER
 from repro.trees.base import SHARED, McTopology
 
-#: CSR row bundle per tree key: (indptr, neighbor ids, per-hop costs).
-_CsrRows = Dict[int, Tuple[array, array, array]]
+#: CSR row bundle per tree key: (indptr, neighbor ids, per-hop costs,
+#: per-entry hop spans).  Spans are 1 for ordinary tree edges and the
+#: detour length for spliced backup fragments.
+_CsrRows = Dict[int, Tuple[array, array, array, array]]
 
 _TREE, _UNICAST = 0, 1
 
@@ -121,12 +141,25 @@ class _CompiledConnection:
         "connection_id", "n", "asymmetric",
         "topo_of", "topologies", "member_bit", "deliver_bit",
         "members_of", "intended_of",
+        "dep_links", "uses_unicast", "frr_epoch",
     )
 
     def __init__(self, connection_id: int, n: int) -> None:
         self.connection_id = connection_id
         self.n = n
         self.asymmetric = False
+        #: Canonical links this compiled state depends on: every tree
+        #: edge (live or dead) plus every link of a spliced detour.  The
+        #: scoped-invalidation path keeps the connection compiled when a
+        #: single link change misses this set entirely.
+        self.dep_links: set = set()
+        #: True once any template rode the unicast (receiver-only
+        #: contact) stage -- those depend on arbitrary routing-table
+        #: state, so any link change invalidates them.
+        self.uses_unicast = False
+        #: Summed ``McState.frr_epoch`` across the distinct holder
+        #: states at compile time (FRR change detector).
+        self.frr_epoch = 0
         #: Per switch: index into ``topologies`` (-1: no state or no install).
         self.topo_of: List[int] = [-1] * n
         self.topologies: List[_CompiledTopology] = []
@@ -178,6 +211,10 @@ class BatchForwardingEngine:
         self._invalidations = metrics.counter(
             "dataplane_invalidations_total",
             "Compiled connections dropped by install/link-generation changes")
+        self._partial_invalidations = metrics.counter(
+            "dataplane_partial_invalidations_total",
+            "Refreshes resolved by scoped (per-connection) invalidation "
+            "instead of dropping all compiled state")
         self._ttl_drop_counter = metrics.counter(
             "dataplane_ttl_drops_total",
             "Forwarding steps suppressed by the hop limit")
@@ -214,23 +251,61 @@ class BatchForwardingEngine:
     def refresh(self) -> None:
         """Drop compiled state invalidated since the last dispatch.
 
-        A ``Network.version`` change (link added / up / down) drops
-        everything: liveness and hop costs are baked into the arrays.
-        New ``install_log`` entries drop exactly the touched connections.
+        A ``Network.version`` change (link added / up / down) that
+        :meth:`~repro.topo.graph.Network.up_delta_since` can pin to a
+        single link drops only the connections depending on it (tree
+        edge, spliced detour link, or any unicast-stage template);
+        wider gaps drop everything.  New ``install_log`` entries drop
+        exactly the touched connections.  Under ``enable_frr``, a
+        changed per-connection ``frr_epoch`` sum (activation or
+        retirement without an install record or version bump) also
+        drops that connection only.
         """
         net_version = self.dgmc.net.version
         if net_version != self._net_version:
-            self._invalidations.inc(len(self._compiled))
-            self._compiled.clear()
-            self._templates.clear()
+            delta = self.dgmc.net.up_delta_since(self._net_version)
+            if delta is None:
+                self._invalidations.inc(len(self._compiled))
+                self._compiled.clear()
+                self._templates.clear()
+                self._net_version = net_version
+                self._log_pos = len(self.dgmc.install_log)
+                return
+            if delta:
+                u, v = delta[0][0], delta[0][1]
+                edge = (u, v) if u <= v else (v, u)
+                for m in [
+                    m for m, c in self._compiled.items()
+                    if c.uses_unicast or edge in c.dep_links
+                ]:
+                    self.invalidate(m)
+                self._partial_invalidations.inc()
             self._net_version = net_version
-            self._log_pos = len(self.dgmc.install_log)
-            return
         log = self.dgmc.install_log
         if len(log) > self._log_pos:
             for m in {record.connection_id for record in log[self._log_pos:]}:
                 self.invalidate(m)
             self._log_pos = len(log)
+        if self._compiled and getattr(self.dgmc.config, "enable_frr", False):
+            stale = [
+                m for m, c in self._compiled.items()
+                if self._frr_epoch_sum(m) != c.frr_epoch
+            ]
+            for m in stale:
+                self.invalidate(m)
+            if stale:
+                self._partial_invalidations.inc()
+
+    def _frr_epoch_sum(self, connection_id: int) -> int:
+        """Summed ``frr_epoch`` over the distinct holder states."""
+        total = 0
+        seen: set = set()
+        for switch in self.dgmc.switches.values():
+            state = switch.states.get(connection_id)
+            if state is not None and id(state) not in seen:
+                seen.add(id(state))
+                total += state.frr_epoch
+        return total
 
     def invalidate(self, connection_id: Optional[int] = None) -> None:
         """Drop compiled state for one connection (or all, when ``None``).
@@ -285,9 +360,10 @@ class BatchForwardingEngine:
                     holders[key] = [x]
                 else:
                     row.append(x)
-        topo_index: Dict[int, int] = {}
+        topo_index: Dict[tuple, int] = {}
         for key, switches in holders.items():
             state = states[key]
+            compiled.frr_epoch += state.frr_epoch
             asymmetric = state.spec.ctype is ConnectionType.ASYMMETRIC
             compiled.asymmetric = asymmetric
             members = state.member_set
@@ -301,13 +377,26 @@ class BatchForwardingEngine:
                 delivering = members
             topo = -1
             if state.installed is not None:
-                topo = topo_index.get(id(state.installed), -1)
+                # Two views sharing one installed object can still hold
+                # different active fragments (activation is per state),
+                # so the dedup key covers the splice content too.
+                topo_key = (
+                    id(state.installed),
+                    tuple(
+                        (edge, fragment.path)
+                        for edge, fragment in sorted(state.active_backup.items())
+                    ),
+                )
+                topo = topo_index.get(topo_key, -1)
                 if topo < 0:
                     topo = len(compiled.topologies)
                     compiled.topologies.append(
-                        self._compile_topology(state.installed, n)
+                        self._compile_topology(
+                            state.installed, n,
+                            state.active_backup, compiled.dep_links,
+                        )
                     )
-                    topo_index[id(state.installed)] = topo
+                    topo_index[topo_key] = topo
             if len(holders) == 1 and len(switches) == n:
                 # Fully converged: one shared view everywhere (the common
                 # case after quiescence and the ConvergedGroups fast path).
@@ -329,35 +418,73 @@ class BatchForwardingEngine:
                 compiled.topo_of[x] = topo
         return compiled
 
-    def _compile_topology(self, topology: McTopology, n: int) -> _CompiledTopology:
+    def _compile_topology(
+        self,
+        topology: McTopology,
+        n: int,
+        active_backup: Dict[Tuple[int, int], object],
+        dep_links: set,
+    ) -> _CompiledTopology:
         """CSR rows per tree key, dead links excluded at compile time.
 
         Neighbor order within a row reproduces the reference engine's
-        traversal order (other endpoints of the sorted incident edges),
-        so replays fan out in the identical sequence.
+        traversal order (other endpoints of the sorted incident edges,
+        then detour splices in the same edge order), so replays fan out
+        in the identical sequence.
+
+        A dead tree edge covered by an *activated* backup fragment whose
+        detour is fully live compiles into one logical entry to the far
+        endpoint: cost is the detour's link delays summed left to right
+        from this endpoint (matching :func:`repro.frr.detour_delay`'s
+        addition order, so folded timestamps stay bit-exact against the
+        reference engine) and span is the detour hop length.
         """
         net = self.dgmc.net
         hop_delay = self.hop_delay
+
+        def hop_cost(a: int, b: int) -> float:
+            return hop_delay if hop_delay is not None else net.link(a, b).delay
+
         rows: _CsrRows = {}
         for tree_key, tree in topology.trees:
-            per_node: Dict[int, List[Tuple[int, float]]] = {}
+            per_node: Dict[int, List[Tuple[int, float, int]]] = {}
+            dead: List[Tuple[int, int]] = []
             for u, v in sorted(tree.edges):
+                dep_links.add((u, v) if u <= v else (v, u))
                 if not net.has_link(u, v) or not net.link(u, v).up:
+                    dead.append((u, v))
                     continue  # data-plane drop on a dead link
-                cost = hop_delay if hop_delay is not None else net.link(u, v).delay
-                per_node.setdefault(u, []).append((v, cost))
-                per_node.setdefault(v, []).append((u, cost))
+                cost = hop_cost(u, v)
+                per_node.setdefault(u, []).append((v, cost, 1))
+                per_node.setdefault(v, []).append((u, cost, 1))
+            if active_backup:
+                for u, v in dead:
+                    key = (u, v) if u <= v else (v, u)
+                    fragment = active_backup.get(key)
+                    if fragment is None or not detour_is_live(fragment, net):
+                        continue
+                    for a, b in zip(fragment.path, fragment.path[1:]):
+                        dep_links.add((a, b) if a <= b else (b, a))
+                    span = fragment.span
+                    per_node.setdefault(u, []).append(
+                        (v, detour_delay(fragment, u, hop_cost), span)
+                    )
+                    per_node.setdefault(v, []).append(
+                        (u, detour_delay(fragment, v, hop_cost), span)
+                    )
             counts = [0] * n
             for x, out in per_node.items():
                 counts[x] = len(out)
             indptr = array("l", accumulate(counts, initial=0))
             neighbors = array("l")
             costs = array("d")
+            spans = array("l")
             for x in sorted(per_node):
-                for nbr, cost in per_node[x]:
+                for nbr, cost, span in per_node[x]:
                     neighbors.append(nbr)
                     costs.append(cost)
-            rows[tree_key] = (indptr, neighbors, costs)
+                    spans.append(span)
+            rows[tree_key] = (indptr, neighbors, costs, spans)
         return _CompiledTopology(rows)
 
     # -- template replay ---------------------------------------------------------
@@ -410,7 +537,7 @@ class BatchForwardingEngine:
             r = topologies[index].rows.get(tree_key)
             if r is None:
                 continue
-            indptr, neighbors, costs = r
+            indptr, neighbors, costs, spans = r
             targets = [
                 i for i in range(indptr[x], indptr[x + 1])
                 if neighbors[i] != came_from
@@ -420,12 +547,16 @@ class BatchForwardingEngine:
                     ttl_drops += 1  # the hop limit suppressed real fan-out
                 continue
             for i in targets:
+                span = spans[i]
+                if span > ttl:
+                    ttl_drops += 1  # detour longer than the remaining ttl
+                    continue
                 nbr = neighbors[i]
                 if nbr in seen:
                     return None  # revisit: ordering matters, use the heap
                 seen.add(nbr)
-                hops += 1
-                stack.append((nbr, x, ttl - 1, chain + (costs[i],)))
+                hops += span
+                stack.append((nbr, x, ttl - span, chain + (costs[i],)))
         return _FlowTemplate(
             False, intended, tuple(delivered.items()), hops, 0, ttl_drops
         )
@@ -496,7 +627,7 @@ class BatchForwardingEngine:
             r = row(x)
             if r is None:
                 return
-            indptr, neighbors, costs = r
+            indptr, neighbors, costs, spans = r
             targets = [
                 i for i in range(indptr[x], indptr[x + 1])
                 if neighbors[i] != came_from
@@ -506,8 +637,12 @@ class BatchForwardingEngine:
                     ttl_drops += 1  # the hop limit suppressed real fan-out
                 return
             for i in targets:
-                hops += 1
-                push(t + costs[i], _TREE, neighbors[i], x, ttl - 1,
+                span = spans[i]
+                if span > ttl:
+                    ttl_drops += 1  # detour longer than the remaining ttl
+                    continue
+                hops += span
+                push(t + costs[i], _TREE, neighbors[i], x, ttl - span,
                      chain + (costs[i],))
 
         if on_tree(source):
@@ -516,6 +651,7 @@ class BatchForwardingEngine:
                 return fast
             push(0.0, _TREE, source, None, initial_ttl, ())
         else:
+            compiled.uses_unicast = True
             contact = self._nearest_member(source, compiled.members_of[source])
             if contact is None:
                 return _FlowTemplate(True, intended, (), 0, 0, 0)

@@ -20,6 +20,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.core.mc import ConnectionType
 from repro.core.protocol import DgmcNetwork
 from repro.dataplane.packet import DeliveryRecord, McPacket
+from repro.frr import detour_delay, detour_is_live
 from repro.lsr import spf
 from repro.trees.algorithms import RECEIVER
 from repro.trees.base import SHARED
@@ -213,8 +214,9 @@ class ForwardingEngine:
         seen.add(switch)
         self._deliver_local(switch, packet, record)
         targets = self._forward_targets(switch, came_from, packet)
+        detours = self._detour_targets(switch, came_from, packet)
         if ttl <= 0:
-            if targets:
+            if targets or detours:
                 record.ttl_drops += 1  # the hop limit suppressed real fan-out
             return
         for neighbor in targets:
@@ -223,6 +225,26 @@ class ForwardingEngine:
                 self._hop_cost(switch, neighbor),
                 lambda n=neighbor, s=switch: self._tree_arrive(
                     n, s, packet, record, ttl - 1
+                ),
+            )
+        for fragment in detours:
+            # Tunnel semantics: the packet rides the whole precomputed
+            # detour as one scheduled resumption at the far endpoint of
+            # the failed edge -- interior detour switches hold no tree
+            # state and neither dedup nor deliver.  Delay and hops are
+            # the summed per-link costs so timestamps match a
+            # hypothetical hop-by-hop ride (and the batched engine's
+            # compiled splice) exactly.
+            span = fragment.span
+            if ttl < span:
+                record.ttl_drops += 1
+                continue
+            far = fragment.edge[0] if fragment.edge[1] == switch else fragment.edge[1]
+            record.hops += span
+            self.dgmc.sim.schedule(
+                detour_delay(fragment, switch, self._hop_cost),
+                lambda f=far, s=switch, t=ttl - span: self._tree_arrive(
+                    f, s, packet, record, t
                 ),
             )
 
@@ -241,6 +263,33 @@ class ForwardingEngine:
                 continue  # data-plane drop on a dead link
             targets.append(neighbor)
         return targets
+
+    def _detour_targets(
+        self, switch: int, came_from: Optional[int], packet: McPacket
+    ) -> List[Any]:
+        """Activated backup fragments covering dead incident tree edges.
+
+        A fragment is ridden only while its own detour links are all up
+        (a second failure on the detour is not re-protected: no nested
+        FRR, the packet drops exactly as without FRR).
+        """
+        state = self.dgmc.switches[switch].states.get(packet.connection_id)
+        if state is None or not state.active_backup:
+            return []
+        fragments: List[Any] = []
+        for edge in self._local_tree_edges(switch, packet):
+            neighbor = edge[0] if edge[1] == switch else edge[1]
+            if neighbor == came_from:
+                continue
+            if self.dgmc.net.has_link(switch, neighbor) and self.dgmc.net.link(
+                switch, neighbor
+            ).up:
+                continue  # primary edge alive: stay on the tree
+            key = (switch, neighbor) if switch <= neighbor else (neighbor, switch)
+            fragment = state.active_backup.get(key)
+            if fragment is not None and detour_is_live(fragment, self.dgmc.net):
+                fragments.append(fragment)
+        return fragments
 
     def _unicast_arrive(
         self,

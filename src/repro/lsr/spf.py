@@ -151,6 +151,52 @@ def path_edges(path: list[int]) -> list[tuple[int, int]]:
     return [tuple(sorted((path[i], path[i + 1]))) for i in range(len(path) - 1)]
 
 
+def next_hop_dag(adj: Adjacency, source: int) -> Dict[int, tuple]:
+    """Per-destination next-hop DAG from ``source`` (mDT-style multipath).
+
+    For every reachable destination ``d`` the value is the sorted tuple of
+    neighbors ``n`` of ``source`` that are safe first hops toward ``d``:
+
+    * **ECMP**: ``dist_s[d] == w(s, n) + dist_n[d]`` -- ``n`` lies on a
+      shortest path, so all equal-cost parallels are kept, not just the
+      lowest-parent-id one the Dijkstra tie-break picks;
+    * **LFA**: ``dist_n[d] < dist_s[d]`` -- the downstream criterion; the
+      neighbor is strictly closer to ``d`` than ``source`` is, so routing
+      via ``n`` can never loop back through ``source``.
+
+    The union over all destinations is loop-free per destination (every
+    hop strictly decreases the remaining distance bound), which is what
+    lets :mod:`repro.frr` pick a detour first hop without re-running SPF.
+    Cached adjacencies return their memoized DAG; the per-neighbor SSSP
+    solves it needs are exactly the ones :meth:`SpfCache.sssp` already
+    memoizes, so on one image the marginal cost is one solve per neighbor.
+    """
+    cached = getattr(adj, "dag", None)
+    if cached is not None:
+        return cached(source)
+    return dag_body(adj, source)
+
+
+def dag_body(adj: Adjacency, source: int) -> Dict[int, tuple]:
+    """The uncached next-hop DAG computation (see :func:`next_hop_dag`)."""
+    dist_s, _ = dijkstra(adj, source)
+    neighbors = sorted(adj.get(source, {}).items())
+    neighbor_dist = {n: dijkstra(adj, n)[0] for n, _ in neighbors}
+    dag: Dict[int, tuple] = {}
+    for dest in sorted(dist_s):
+        if dest == source:
+            continue
+        hops = []
+        for n, w in neighbors:
+            dn = neighbor_dist[n].get(dest)
+            if dn is None:
+                continue
+            if dist_s[dest] == w + dn or dn < dist_s[dest]:
+                hops.append(n)
+        dag[dest] = tuple(hops)
+    return dag
+
+
 def routing_table(adj: Adjacency, source: int) -> Dict[int, int]:
     """OSPF-style next-hop table: destination -> first hop from ``source``."""
     cached = getattr(adj, "routing_table", None)

@@ -241,6 +241,7 @@ class SpfCache(MappingABC):
         "generation",
         "_sssp",
         "_tables",
+        "_dags",
         "_ecc",
         "_prev",
         "_delta",
@@ -261,6 +262,7 @@ class SpfCache(MappingABC):
         self.generation = generation
         self._sssp: Dict[int, Tuple[Dict[int, float], Dict[int, Optional[int]]]] = {}
         self._tables: Dict[int, Dict[int, int]] = {}
+        self._dags: Dict[int, Dict[int, tuple]] = {}
         self._ecc: Dict[int, float] = {}
         #: The superseded generation plus the ordered link deltas leading
         #: here, when the producer knows them -- the ISPF repair chain.  A
@@ -397,6 +399,24 @@ class SpfCache(MappingABC):
             table[dest] = hop
         self._tables[source] = table
         return table
+
+    def dag(self, source: int) -> Dict[int, tuple]:
+        """Memoized per-destination next-hop DAG (``spf.next_hop_dag``).
+
+        The per-neighbor SSSP solves the DAG derivation needs go through
+        :meth:`sssp`, so on one image they are shared with every other
+        consumer (routing tables, tree computations, other sources' DAGs).
+        """
+        dag = self._dags.get(source)
+        if dag is not None:
+            self.stats.hits += 1
+            GLOBAL_STATS.hits += 1
+            return dag
+        from repro.lsr import spf as _spf
+
+        dag = _spf.dag_body(self, source)
+        self._dags[source] = dag
+        return dag
 
     def eccentricity(self, node: int) -> float:
         """Memoized largest shortest-path distance from ``node``."""

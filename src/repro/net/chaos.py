@@ -96,6 +96,11 @@ class ChaosSettings:
     #: *deliberately broken* protocol, used to demonstrate that a real
     #: violation produces a replayable flight-recorder artifact.
     ablate_member_stamp: bool = False
+    #: Run with fast reroute enabled: backup fragments precompute at
+    #: install, activate on local failure detection, and must reconcile
+    #: byte-identically once the repair cycle converges (the stable-point
+    #: checks assert the exact same invariants either way).
+    frr: bool = False
 
     def live_config(self) -> LiveConfig:
         # A tight retransmit budget (8 attempts, ~0.55s) so frames sent
@@ -292,12 +297,14 @@ def _record_violations(
                 "duplicate_rate": cfg.duplicate_rate,
                 "reorder": cfg.reorder,
                 "ablate_member_stamp": cfg.ablate_member_stamp,
+                "frr": cfg.frr,
                 "replay": (
                     f"repro chaos --switches {cfg.switches} "
                     f"--actions {cfg.actions} --seed {cfg.seed} "
                     f"--loss {cfg.loss} --duplicate-rate {cfg.duplicate_rate}"
                     + (f" --reorder {cfg.reorder}" if cfg.reorder else "")
                     + (" --disable-m-vector" if cfg.ablate_member_stamp else "")
+                    + (" --frr" if cfg.frr else "")
                 ),
                 "schedule": report.schedule,
                 "violations": [v.describe() for v in found],
@@ -342,7 +349,10 @@ async def run_chaos_soak(settings: Optional[ChaosSettings] = None) -> ChaosRepor
 
     fabric = LiveFabric(
         net,
-        ProtocolConfig(ablate_member_stamp=cfg.ablate_member_stamp),
+        ProtocolConfig(
+            ablate_member_stamp=cfg.ablate_member_stamp,
+            enable_frr=cfg.frr,
+        ),
         cfg.live_config(),
     )
     fabric.register_symmetric(cfg.connection_id)

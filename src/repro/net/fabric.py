@@ -199,6 +199,7 @@ class LiveFabric:
         )
         state = host.switch.states.get(connection_id)
         if state is not None:
+            self.slo.record_frr_retired(state.take_frr_retirements())
             self.slo.record_install(
                 state.trace_ctx, switch, state.member_set
             )

@@ -41,9 +41,10 @@ Six frame types exist:
   reply flag (a reply DBD never triggers another DBD, so the handshake
   terminates), then the header list.
 * SNAP (5) -- one MC connection's arbitration state (:class:`McSnapshot`)
-  for resync: R / E / C vectors, proposer, member roles, and the
-  installed topology as canonical :func:`~repro.core.wire.encode_topology`
-  bytes.
+  for resync: R / E / C vectors, proposer, member roles, the active
+  fast-reroute fragments (count-prefixed, before the topology flag),
+  and the installed topology as canonical
+  :func:`~repro.core.wire.encode_topology` bytes.
 * LSU (6) -- link-state update: one full non-MC LSA transferred during
   resync.  Distinct from DATA so the receiver applies resync semantics
   (re-flood if news; recover the own-origin sequence number).
@@ -89,6 +90,7 @@ _DBD_HEAD = struct.Struct("!BH")
 _DBD_ENTRY = struct.Struct("!HI")
 _SNAP_HEAD = struct.Struct("!IHH")
 _SNAP_MEMBER = struct.Struct("!HB")
+_SNAP_BACKUP = struct.Struct("!HHH")  # protected edge u, v, detour path length
 
 _ROLE_BITS = ((SENDER, 0x01), (RECEIVER, 0x02))
 
@@ -167,6 +169,12 @@ class McSnapshot:
     topology: Optional[bytes]
     #: Causal trace context (observability only; excluded from equality).
     ctx: Optional[TraceContext] = field(default=None, compare=False, repr=False)
+    #: Active fast-reroute fragments as ``(u, v, path)`` tuples (protected
+    #: edge in canonical order, detour node path from ``u`` to ``v``).
+    #: Data-plane-only: carried so a healing peer that missed the local
+    #: activation window can point its data plane off the dead edge
+    #: before the repair cycle converges; never feeds arbitration.
+    active_backup: Tuple[Tuple[int, int, Tuple[int, ...]], ...] = ()
 
     def member_map(self) -> Dict[int, FrozenSet[str]]:
         return dict(self.members)
@@ -271,6 +279,11 @@ def encode_snapshot(snapshot: McSnapshot) -> bytes:
     ]
     for switch, roles in sorted(snapshot.members):
         parts.append(_SNAP_MEMBER.pack(switch, _role_bits(roles)))
+    parts.append(struct.pack("!H", len(snapshot.active_backup)))
+    for u, v, path in sorted(snapshot.active_backup):
+        parts.append(_SNAP_BACKUP.pack(u, v, len(path)))
+        if path:
+            parts.append(struct.pack(f"!{len(path)}H", *path))
     if snapshot.topology is None:
         parts.append(b"\x00")
     else:
@@ -364,6 +377,18 @@ def _decode_snap(src: int, dest: int, seq: int, body: bytes) -> SnapFrame:
             raise FrameDecodeError("SNAP members not strictly sorted")
         last_switch = switch
         members.append((switch, _roles_from_bits(bits)))
+    (backup_count,) = reader.take_fmt("!H")
+    active_backup = []
+    last_edge = (-1, -1)
+    for _ in range(backup_count):
+        u, v, path_len = reader.take(_SNAP_BACKUP)
+        if u > v:
+            raise FrameDecodeError("SNAP backup edge not canonical")
+        if (u, v) <= last_edge:
+            raise FrameDecodeError("SNAP backups not strictly sorted")
+        last_edge = (u, v)
+        path = reader.take_fmt(f"!{path_len}H") if path_len else ()
+        active_backup.append((u, v, tuple(path)))
     (has_topology,) = reader.take_fmt("!B")
     if has_topology not in (0, 1):
         raise FrameDecodeError(f"bad SNAP topology flag {has_topology}")
@@ -387,6 +412,7 @@ def _decode_snap(src: int, dest: int, seq: int, body: bytes) -> SnapFrame:
         member_stamp=tuple(member_stamp),
         members=tuple(members),
         topology=topology,
+        active_backup=tuple(active_backup),
     )
     return SnapFrame(src, dest, seq, snapshot)
 

@@ -252,8 +252,32 @@ class LiveSwitch:
         self._wake.set()
 
     def apply_link_state(self, u: int, v: int, up: bool) -> None:
-        """Record a link change this host observes but does not announce."""
+        """Record a link change this host observes but does not announce.
+
+        A down observed at a non-announcing endpoint still switches the
+        local data plane over to any covering backup fragment: fast
+        reroute activates at *both* endpoints of the failed edge, before
+        the detector's LSA flood arrives.
+        """
         self.net.set_link_state(u, v, up)
+        if not up:
+            self._activate_frr(u, v)
+
+    def _activate_frr(self, u: int, v: int, ctx: Optional[TraceContext] = None) -> None:
+        """Activate covering backup fragments for a failed incident edge.
+
+        Purely local and O(connections): the data plane rides the
+        precomputed detour immediately, before any LSA floods; the
+        normal repair cycle reconciles later (install retires the
+        fragment).  No-op unless ``enable_frr`` is set.
+        """
+        if not getattr(self.config, "enable_frr", False):
+            return
+        from repro.frr import activate_for_edge
+
+        activated = activate_for_edge(self.switch.states, u, v)
+        if activated and self.slo is not None:
+            self.slo.record_frr_activation(ctx, len(activated))
 
     def fire_link(self, u: int, v: int, up: bool) -> List[int]:
         """This host detects an incident link change (Figure 2's detector).
@@ -268,6 +292,10 @@ class LiveSwitch:
         """
         ctx = self.mint_ctx("link-up" if up else "link-down")
         self.net.set_link_state(u, v, up)
+        if not up:
+            # Fast reroute first: the detecting switch's data plane must
+            # ride the precomputed detour before any LSA leaves this host.
+            self._activate_frr(u, v, ctx)
         self.flood_out.current_ctx = ctx
         try:
             self.router.notify_incident_link_event()

@@ -146,8 +146,28 @@ class ResyncManager:
         for nbr in self._neighbors():
             self.transport.send_hello(x, nbr, self.generation)
 
+    def _dead_jitter(self, nbr: int) -> float:
+        """Deterministic per-(switch, neighbor) dead-interval jitter.
+
+        Unjittered, every watchdog observing the same failure crosses its
+        dead interval on the same hello tick, so the resulting link-down
+        declarations (and the flood bursts they provoke) synchronize
+        fleet-wide.  Skewing each pair's threshold by up to half a hello
+        interval de-synchronizes the firings while staying well inside
+        the liveness budget.  A pure hash of the (switch, neighbor) pair
+        -- no RNG -- so pinned-seed chaos schedules stay byte-for-byte
+        reproducible and the delta-debugging minimizer keeps converging
+        to the same counterexample.
+        """
+        mix = (self.host.switch_id * 2654435761 + nbr * 40503) % 997
+        return (mix / 997.0) * 0.5 * getattr(self.host, "hello_interval", 0.0)
+
     def check_dead(self, now: float) -> None:
-        """Declare neighbors silent for longer than the dead interval."""
+        """Declare neighbors silent for longer than the dead interval.
+
+        The threshold is ``dead_interval`` plus a deterministic
+        per-neighbor jitter (see :meth:`_dead_jitter`).
+        """
         x = self.host.switch_id
         for nbr in self._neighbors():
             if nbr in self.dead:
@@ -156,7 +176,7 @@ class ResyncManager:
             if heard is None:
                 self.last_heard[nbr] = now
                 continue
-            if now - heard <= self.host.dead_interval:
+            if now - heard <= self.host.dead_interval + self._dead_jitter(nbr):
                 continue
             link_was_up = self.host.net.link(x, nbr).up
             self.dead[nbr] = link_was_up

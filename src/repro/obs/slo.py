@@ -98,6 +98,21 @@ class SloTracker:
             "DBD handshake initiation to terminating reply, seconds",
             buckets=SLO_BUCKETS,
         )
+        self.frr_switchover = registry.histogram(
+            "slo_frr_switchover_seconds",
+            "link failure detected to backup fragment active (the fast-"
+            "reroute half of the repair window; slo_repair_latency_seconds "
+            "keeps measuring the full convergence half)",
+            buckets=SLO_BUCKETS,
+        )
+        self.frr_activations = registry.counter(
+            "frr_activations_total",
+            "backup fragments activated by local failure detection",
+        )
+        self.frr_retired = registry.counter(
+            "frr_retired_total",
+            "active backup fragments retired by a reconciling install",
+        )
         self.never_converged = registry.counter(
             "slo_never_converged_total",
             "convergence chains still open at shutdown",
@@ -154,6 +169,30 @@ class SloTracker:
                 self._clock() - chain.started
             )
             del self._chains[chain.ctx.trace_id()]
+
+    def record_frr_activation(
+        self, ctx: Optional[TraceContext], count: int
+    ) -> None:
+        """``count`` connections switched over to backup fragments.
+
+        When ``ctx`` names an open link-down chain, the elapsed time
+        since the chain opened lands in the switchover histogram -- this
+        is the fast-reroute half of the repair window (detection to
+        data-plane-restored), while ``slo_repair_latency_seconds`` keeps
+        measuring the full convergence half (detection to re-installed
+        everywhere).  Activation at a non-detecting endpoint has no
+        chain; only the counter moves.
+        """
+        self.frr_activations.inc(count)
+        if ctx is not None:
+            chain = self._chains.get(ctx.trace_id())
+            if chain is not None:
+                self.frr_switchover.observe(self._clock() - chain.started)
+
+    def record_frr_retired(self, count: int) -> None:
+        """Count fragments retired by a reconciling install."""
+        if count:
+            self.frr_retired.inc(count)
 
     def _histogram_for(self, ctx: TraceContext) -> Histogram:
         if ctx.cause == "link-down":

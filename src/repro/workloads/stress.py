@@ -20,6 +20,13 @@ exhaustion), the others run under a transition budget:
   withdrawal, triggered proposals).  Its state space exceeds 5M
   transitions, so the CI gate explores it under a budget in
   deterministic DFS order rather than to exhaustion.
+* ``frr-inflight-repair`` -- fast reroute composing with the in-flight
+  repair guard: a tree-edge failure lands while a join's Tc compute
+  window is open *and* a backup fragment is active.  The reconciling
+  install must retire the fragment without ever installing against a
+  stale stamp; because backup state is excluded from canonical
+  fingerprints, the explored state space must be isomorphic to a no-FRR
+  run of the same schedule.
 * ``ring4-churn`` / ``mesh5-link-storm`` -- 4- and 5-switch nightly
   scenarios: churn and link flaps on topologies with redundant paths,
   too large for exhaustion, explored under budget (guided or bounded
@@ -112,6 +119,21 @@ RING4_CHURN = StressScenario(
     ),
 )
 
+FRR_INFLIGHT_REPAIR = _triangle(
+    "frr-inflight-repair",
+    "join(1) computes while the installed (0,2) tree edge fails and its "
+    "backup fragment activates: the in-flight-repair stale-install guard "
+    "and fast-reroute reconciliation must compose (explored with "
+    "enable_frr on; backup state is canonically invisible, so the state "
+    "space must match a no-FRR run exactly)",
+    initial_members=(0, 2),
+    events=(
+        ScenarioEvent("join", 1),
+        ScenarioEvent("link", 0, u=0, v=2, up=False),
+        ScenarioEvent("link", 0, u=0, v=2, up=True, after=(1,)),
+    ),
+)
+
 MESH5_LINK_STORM = StressScenario(
     name="mesh5-link-storm",
     description="two link failures and a join on a 5-switch mesh: "
@@ -141,6 +163,7 @@ SCENARIOS: Dict[str, StressScenario] = {
         MEMBERSHIP_RACE,
         DEGRADED_REPAIR,
         TRIPLE_CONFLICT,
+        FRR_INFLIGHT_REPAIR,
         RING4_CHURN,
         MESH5_LINK_STORM,
     )
