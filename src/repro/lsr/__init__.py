@@ -18,7 +18,8 @@ the network image assembled here.
 from repro.lsr.lsa import NonMcLsa, RouterLsa
 from repro.lsr.lsdb import LinkStateDatabase
 from repro.lsr.spf import dijkstra, routing_table, shortest_path
-from repro.lsr.ispf import LinkDelta, repair_sssp
+from repro.lsr.ispf import MAX_REPAIR_CHAIN, LinkDelta, repair_sssp
+from repro.lsr.csr import CsrGraph, CsrTree
 from repro.lsr.spfcache import CacheStats, SpfCache
 from repro.lsr.flooding import FloodDelivery, FloodingFabric
 from repro.lsr.router import UnicastRouter
@@ -31,7 +32,10 @@ __all__ = [
     "shortest_path",
     "routing_table",
     "LinkDelta",
+    "MAX_REPAIR_CHAIN",
     "repair_sssp",
+    "CsrGraph",
+    "CsrTree",
     "SpfCache",
     "CacheStats",
     "FloodingFabric",

@@ -50,6 +50,18 @@ Adjacency = Mapping[int, Mapping[int, float]]
 #: through an include-down view).
 LinkDelta = Tuple[int, int, Optional[float], Optional[float]]
 
+#: Longest delta sequence worth carrying through incremental SPF; past
+#: this, a full Dijkstra is cheaper than the chain of repairs.  This is
+#: **one** constant shared by both ends of the pipeline: producers
+#: (:class:`repro.lsr.lsdb.LinkStateDatabase`) cap how many pending
+#: deltas they accumulate between image rebuilds, and the consumer
+#: (:class:`repro.lsr.spfcache.SpfCache`) caps how many superseded
+#: generations it keeps repairable.  They must agree -- with two
+#: independently defined caps, a producer tracking more deltas than the
+#: cache replays silently drops the excess past the repair horizon (the
+#: historical bug), or tracks fewer and wastes repairable history.
+MAX_REPAIR_CHAIN = 8
+
 SsspResult = Tuple[Dict[int, float], Dict[int, Optional[int]]]
 
 

@@ -11,13 +11,16 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Tuple
 
-from repro.lsr.ispf import LinkDelta
+from repro.lsr.ispf import MAX_REPAIR_CHAIN, LinkDelta
 from repro.lsr.lsa import RouterLsa
 from repro.lsr.spfcache import CacheStats, count_invalidation, wrap_image
 
 #: Longest delta sequence worth replaying through incremental SPF; past
-#: this, a full Dijkstra is cheaper than the chain of repairs.
-_MAX_PENDING_DELTAS = 8
+#: this, a full Dijkstra is cheaper than the chain of repairs.  Shared
+#: with the cache-side repair horizon (see
+#: :data:`repro.lsr.ispf.MAX_REPAIR_CHAIN`): tracking more deltas than
+#: the cache replays would silently drop them past the horizon.
+_MAX_PENDING_DELTAS = MAX_REPAIR_CHAIN
 
 
 class LinkStateDatabase:

@@ -36,8 +36,15 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
+from repro.lsr import csr as _csr
 from repro.lsr import ispf as _ispf
-from repro.lsr.spf import RELAX_COUNTER, dijkstra_uncached
+from repro.lsr.spf import (
+    RELAX_COUNTER,
+    dijkstra_csr,
+    dijkstra_csr_many,
+    dijkstra_uncached,
+    first_hop_table,
+)
 from repro.obs.metrics import REGISTRY as _GLOBAL_REGISTRY
 
 _enabled = True
@@ -45,8 +52,10 @@ _ispf_on = True
 
 #: Longest chain of single-link repairs applied before giving up and
 #: running full Dijkstra; also bounds how many superseded generations a
-#: live cache can keep reachable.
-_MAX_REPAIR_CHAIN = 8
+#: live cache can keep reachable.  One shared constant with the
+#: producer-side pending-delta cap -- see
+#: :data:`repro.lsr.ispf.MAX_REPAIR_CHAIN` for why they must agree.
+_MAX_REPAIR_CHAIN = _ispf.MAX_REPAIR_CHAIN
 
 
 def set_enabled(flag: bool) -> bool:
@@ -246,6 +255,9 @@ class SpfCache(MappingABC):
         "_prev",
         "_delta",
         "_had_history",
+        "_csr",
+        "_csr_ready",
+        "_trees",
     )
 
     def __init__(
@@ -272,6 +284,13 @@ class SpfCache(MappingABC):
         self._prev: Optional[SpfCache] = prev if usable else None
         self._delta = delta if usable else None
         self._had_history = prev is not None
+        #: Lazily compiled flat-array core (see :mod:`repro.lsr.csr`);
+        #: ``_csr_ready`` distinguishes "not compiled yet" from "tried,
+        #: unavailable".  Solved trees kept in array form for bulk
+        #: consumers; their dict views materialize on first sssp() hit.
+        self._csr: Optional[_csr.CsrGraph] = None
+        self._csr_ready = False
+        self._trees: Dict[int, _csr.CsrTree] = {}
         if self._prev is not None:
             self._trim_chain()
 
@@ -337,6 +356,15 @@ class SpfCache(MappingABC):
             self.stats.hits += 1
             GLOBAL_STATS.hits += 1
             return entry
+        tree = self._trees.get(source)
+        if tree is not None:
+            # Solved (e.g. by prewarm) but never read as dicts: the
+            # solve was already accounted, materializing is a hit.
+            entry = tree.dicts()
+            self._sssp[source] = entry
+            self.stats.hits += 1
+            GLOBAL_STATS.hits += 1
+            return entry
         self.stats.misses += 1
         GLOBAL_STATS.misses += 1
         before = RELAX_COUNTER.count
@@ -350,12 +378,105 @@ class SpfCache(MappingABC):
                 GLOBAL_STATS.ispf_full_fallbacks += 1
             self.stats.full_runs += 1
             GLOBAL_STATS.full_runs += 1
-            entry = dijkstra_uncached(self._adj, source)
+            entry = self._full_run(source)
         spent = RELAX_COUNTER.count - before
         self.stats.relaxations += spent
         GLOBAL_STATS.relaxations += spent
         self._sssp[source] = entry
         return entry
+
+    def _full_run(
+        self, source: int
+    ) -> Tuple[Dict[int, float], Dict[int, Optional[int]]]:
+        """One full SSSP: the CSR core when compiled, the dict core
+        otherwise -- byte-identical output and identical counters."""
+        graph = self.csr_graph()
+        if graph is not None and source in graph.index_of:
+            tree = dijkstra_csr(graph, source)
+            self._trees[source] = tree
+            return tree.dicts()
+        return dijkstra_uncached(self._adj, source)
+
+    def csr_graph(self) -> Optional[_csr.CsrGraph]:
+        """The compiled flat-array core for this image, or ``None`` when
+        no CSR backend is engaged (see :func:`repro.lsr.csr.default_backend`)
+        or the image is below the :func:`repro.lsr.csr.min_nodes` floor
+        (small images solve faster on dicts than they compile).
+
+        Compiled lazily on the first full SSSP of a generation.  When
+        the superseded generation already compiled and the producer
+        tracked the link deltas leading here (the same chain incremental
+        SPF replays), the new graph is a cloned-weights patch of the old
+        one instead of an O(V+E) rebuild.
+        """
+        if not self._csr_ready:
+            self._csr_ready = True
+            backend = _csr.default_backend()
+            if backend is not None and len(self._adj) >= _csr.min_nodes():
+                graph = None
+                prev = self._prev
+                if prev is not None and prev._csr is not None and self._delta:
+                    if prev._csr.backend == backend:
+                        graph = prev._csr.patched(self._delta, self._adj)
+                if graph is None:
+                    graph = _csr.CsrGraph.from_adjacency(
+                        self._adj, backend=backend
+                    )
+                self._csr = graph
+        return self._csr
+
+    def sssp_tree(self, source: int) -> Optional[_csr.CsrTree]:
+        """The flat-array form of the memoized SSSP, when the CSR core
+        solved it; ``None`` when the entry came from the dict core or an
+        incremental repair (callers fall back to :meth:`sssp` dicts)."""
+        tree = self._trees.get(source)
+        if tree is None and source not in self._sssp:
+            self.sssp(source)
+            tree = self._trees.get(source)
+        return tree
+
+    def prewarm(self, sources) -> int:
+        """Solve SSSP for every source not yet memoized; returns how many
+        solves ran.  With the CSR core engaged and no repairable history,
+        all misses go through **one** batched C solve, and the solved
+        trees stay in array form -- their dict views materialize only
+        when someone asks (counted as hits, like any memoized read).
+        This is the bulk-ingest path for image rebuilds: the data plane
+        re-warming tree roots, the bench, eccentricity sweeps.
+        """
+        pending = [
+            s
+            for s in sources
+            if s not in self._sssp and s not in self._trees
+        ]
+        if not pending:
+            return 0
+        graph = self.csr_graph()
+        repairable = _ispf_on and self._prev is not None
+        if (
+            graph is None
+            or repairable
+            or any(s not in graph.index_of for s in pending)
+        ):
+            for s in pending:
+                self.sssp(s)
+            return len(pending)
+        before = RELAX_COUNTER.count
+        trees = dijkstra_csr_many(graph, pending)
+        spent = RELAX_COUNTER.count - before
+        count = len(trees)
+        self.stats.misses += count
+        GLOBAL_STATS.misses += count
+        if _ispf_on and self._had_history:
+            self.stats.ispf_full_fallbacks += count
+            GLOBAL_STATS.ispf_full_fallbacks += count
+        self.stats.full_runs += count
+        GLOBAL_STATS.full_runs += count
+        self.stats.relaxations += spent
+        GLOBAL_STATS.relaxations += spent
+        for s, tree in zip(pending, trees):
+            self._trees[s] = tree
+        return count
 
     def _repair_from_chain(
         self, source: int
@@ -369,7 +490,13 @@ class SpfCache(MappingABC):
             node = node._prev
             base = node._sssp.get(source)
             if base is None:
-                continue
+                tree = node._trees.get(source)
+                if tree is None:
+                    continue
+                # A CSR-solved ancestor never read as dicts: materialize
+                # its view so the repair chain can start from it.
+                base = tree.dicts()
+                node._sssp[source] = base
             dist, parent = base
             for adj_i, delta_i in reversed(steps):
                 repaired = _ispf.repair_sssp_chain(
@@ -389,14 +516,7 @@ class SpfCache(MappingABC):
             GLOBAL_STATS.hits += 1
             return table
         dist, parent = self.sssp(source)
-        table = {}
-        for dest in dist:
-            if dest == source:
-                continue
-            hop = dest
-            while parent[hop] != source:
-                hop = parent[hop]  # type: ignore[assignment]
-            table[dest] = hop
+        table = first_hop_table(source, dist, parent)
         self._tables[source] = table
         return table
 

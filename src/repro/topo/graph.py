@@ -238,16 +238,16 @@ class Network:
         misses repair the old trees incrementally.  Treat the returned
         mapping as immutable.
         """
+        from repro.lsr.spf import network_adjacency
         from repro.lsr.spfcache import CacheStats, SpfCache, enabled, wrap_image
 
         key = bool(include_down)
         view = self._spf_views.get(key)
         if view is not None:
             return view
-        adj: Dict[int, Dict[int, float]] = {x: {} for x in self.switches()}
-        for link in self.links(include_down=include_down):
-            adj[link.u][link.v] = link.delay
-            adj[link.v][link.u] = link.delay
+        # One edge-iteration builder shared with the uncached path (and
+        # the CSR compile downstream of it): see spf.network_adjacency.
+        adj = network_adjacency(self, include_down=include_down)
         if not enabled():
             return adj
         if self.spf_stats is None:
